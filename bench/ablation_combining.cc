@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Automatic-update write-combining window sweep.
+ *
+ * The snooper holds an open update packet for a short window so that
+ * contiguous stores share one packet (header, NI processing, rx DMA
+ * start). Too short a window degenerates to one packet per store;
+ * too long adds latency to the *last* store's visibility. This
+ * sweep shows both effects for a contiguous 64-word update burst.
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+namespace
+{
+
+struct Result
+{
+    double usToLastVisible = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t combined = 0;
+};
+
+Result
+run(double window_ns, unsigned words)
+{
+    SystemConfig cfg;
+    cfg.nodes = 2;
+    cfg.node.memBytes = 4 << 20;
+    cfg.params.autoCombineWindowNs = window_ns;
+    cfg.node.devices.push_back(DeviceConfig{});
+    System sys(cfg);
+    auto &send = sys.node(0);
+    auto &recv = sys.node(1);
+
+    struct Shared
+    {
+        std::vector<Addr> rxPages;
+        bool exported = false;
+    } shared;
+    Result res;
+
+    recv.kernel().spawn(
+        "receiver", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            shared.rxPages = co_await sysExportRange(ctx, buf, 4096);
+            shared.exported = true;
+            co_await pollWord(ctx, buf + (words - 1) * 8, words);
+            res.usToLastVisible = ticksToUs(ctx.kernel().eq().now());
+        });
+
+    send.kernel().spawn(
+        "sender", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            while (!shared.exported)
+                co_await ctx.compute(500);
+            co_await sysMapAutoUpdate(ctx, *send.ni(), buf,
+                                      recv.id(), shared.rxPages[0]);
+            Tick t0 = ctx.kernel().eq().now();
+            for (unsigned i = 0; i < words; ++i)
+                co_await ctx.store(buf + i * 8,
+                                   i + 1 == words ? words : i + 1);
+            res.usToLastVisible -= ticksToUs(t0);
+        });
+
+    sys.runUntilAllDone(Tick(60) * tickSec);
+    sys.run();
+    res.packets = send.ni()->autoUpdatesSent();
+    res.combined = send.ni()->autoUpdatesCombined();
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr unsigned words = 64;
+    std::printf("# Automatic-update combining-window sweep: %u "
+                "contiguous 8-byte stores\n",
+                words);
+    std::printf("%12s %14s %10s %10s\n", "window_ns", "visible_us",
+                "packets", "combined");
+    for (double w : {0.0, 100.0, 500.0, 1500.0, 5000.0, 20000.0}) {
+        auto r = run(w, words);
+        std::printf("%12.0f %14.2f %10llu %10llu\n", w,
+                    r.usToLastVisible,
+                    (unsigned long long)r.packets,
+                    (unsigned long long)r.combined);
+    }
+    std::printf("\n# Reading: a sub-microsecond window already folds "
+                "the burst into a handful of packets (the stores "
+                "arrive ~0.15 us apart); a very long window defers "
+                "the final flush and shows up directly as last-word "
+                "latency.\n");
+    return 0;
+}

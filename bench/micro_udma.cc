@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Host-time microbenchmarks (google-benchmark) of the simulator's hot
+ * paths: the UDMA controller's initiation state machine, the status
+ * word codec, the MMU/TLB, and the event queue. These guard the
+ * simulator's own performance (the Fig-8 harness executes millions of
+ * these operations) rather than reproducing a paper number.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bus/io_bus.hh"
+#include "dev/stream_sink.hh"
+#include "dma/status.hh"
+#include "dma/udma_controller.hh"
+#include "mem/physical_memory.hh"
+#include "sim/event_queue.hh"
+#include "sim/params.hh"
+#include "vm/layout.hh"
+#include "vm/mmu.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+struct ControllerFixture
+{
+    sim::EventQueue eq;
+    sim::MachineParams params;
+    vm::AddressLayout layout{1 << 20, 4096, 1};
+    mem::PhysicalMemory memory{1 << 20, 4096};
+    bus::IoBus bus{eq, params};
+    dev::StreamSink sink;
+    dma::UdmaController ctrl{eq,  params, layout, memory,
+                             bus, sink,   0,      0};
+};
+
+} // namespace
+
+static void
+BM_StatusPackUnpack(benchmark::State &state)
+{
+    dma::Status st;
+    st.transferring = true;
+    st.remainingBytes = 4096;
+    for (auto _ : state) {
+        auto w = st.pack();
+        benchmark::DoNotOptimize(dma::Status::unpack(w));
+    }
+}
+BENCHMARK(BM_StatusPackUnpack);
+
+static void
+BM_UdmaInitiation(benchmark::State &state)
+{
+    ControllerFixture f;
+    Addr dest = f.layout.devProxyBase(0) + 64;
+    Addr src = f.layout.proxy(0x1000, 0);
+    auto dest_dec = f.layout.decode(dest);
+    auto src_dec = f.layout.decode(src);
+    for (auto _ : state) {
+        f.ctrl.proxyStore(dest_dec, dest, 256);
+        benchmark::DoNotOptimize(f.ctrl.proxyLoad(src_dec, src));
+        // Complete the transfer so the next iteration starts Idle.
+        f.eq.run();
+    }
+}
+BENCHMARK(BM_UdmaInitiation);
+
+static void
+BM_StatusLoadWhileIdle(benchmark::State &state)
+{
+    ControllerFixture f;
+    Addr src = f.layout.proxy(0x1000, 0);
+    auto src_dec = f.layout.decode(src);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.ctrl.proxyLoad(src_dec, src));
+}
+BENCHMARK(BM_StatusLoadWhileIdle);
+
+static void
+BM_MmuTranslateHit(benchmark::State &state)
+{
+    vm::AddressLayout layout(1 << 20, 4096, 1);
+    vm::Mmu mmu(layout);
+    vm::PageTable pt;
+    vm::Pte pte;
+    pte.frameAddr = 0x3000;
+    pte.valid = true;
+    pte.writable = true;
+    pt.install(5, pte);
+    mmu.activate(&pt);
+    (void)mmu.translate(5 * 4096 + 8, false); // warm the TLB
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mmu.translate(5 * 4096 + 8, false));
+}
+BENCHMARK(BM_MmuTranslateHit);
+
+static void
+BM_EventScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    for (auto _ : state) {
+        eq.scheduleIn(10, "bench", [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_EventScheduleRun);
+
+static void
+BM_AddressDecode(benchmark::State &state)
+{
+    vm::AddressLayout layout(1 << 20, 4096, 4);
+    Addr a = layout.devProxyBase(3) + 12345;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(layout.decode(a));
+}
+BENCHMARK(BM_AddressDecode);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Traffic patterns on the four-node prototype: every node streams
+ * UDMA messages to destinations drawn from a synthetic pattern, and
+ * the table shows where the bottleneck sits.
+ *
+ * Expected architecture story (and the reason hotspot collapses):
+ * each SHRIMP node's *receive path* is one EISA-class DMA engine at
+ * ~23 MB/s. Permutation patterns (neighbor, transpose) keep every
+ * receiver busy and scale; hotspot funnels most traffic into one
+ * receiver whose bus then rate-limits the whole machine.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+#include "workload/traffic.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+using namespace shrimp::workload;
+
+namespace
+{
+
+struct PatternResult
+{
+    double wallUs = 0;
+    double aggregateMBs = 0;
+    std::uint64_t hotDelivered = 0;
+};
+
+PatternResult
+runPattern(const TrafficConfig &tc)
+{
+    SystemConfig cfg;
+    cfg.nodes = tc.nodes;
+    cfg.node.memBytes = 8 << 20;
+    cfg.params.quantumUs = 500.0;
+    cfg.node.devices.push_back(DeviceConfig{});
+    System sys(cfg);
+
+    const std::uint32_t pb = cfg.params.pageBytes;
+    const unsigned n = tc.nodes;
+
+    // Every node exports one landing page per possible sender.
+    struct NodeShare
+    {
+        std::vector<Addr> pagePerSender; // indexed by sender id
+        bool exported = false;
+    };
+    std::vector<NodeShare> shares(n);
+    unsigned exported_count = 0;
+
+    for (unsigned r = 0; r < n; ++r) {
+        auto *node = &sys.node(r);
+        node->kernel().spawn(
+            "host" + std::to_string(r),
+            [&, r, node](os::UserContext &ctx) -> sim::ProcTask {
+                Addr buf = co_await ctx.sysAllocMemory(n * pb);
+                auto pages =
+                    co_await sysExportRange(ctx, buf, n * pb);
+                shares[r].pagePerSender = pages;
+                shares[r].exported = true;
+                ++exported_count;
+
+                // Sender phase: wait for everyone, map each
+                // destination's landing page, then stream.
+                while (exported_count < n)
+                    co_await ctx.compute(500);
+                std::vector<Addr> window(n, 0);
+                for (unsigned d = 0; d < n; ++d) {
+                    if (d == r)
+                        continue;
+                    std::vector<Addr> one(
+                        1, shares[d].pagePerSender[r]);
+                    window[d] = co_await sysMapRemoteRange(
+                        ctx, 0, *node->ni(), d, std::move(one));
+                    if (window[d] == 0)
+                        fatal("map failed ", r, "->", d);
+                }
+                Addr src = co_await ctx.sysAllocMemory(pb);
+                co_await ctx.store(src, r);
+                co_await ctx.load(ctx.proxyAddr(src, 0)); // warm
+
+                TrafficGenerator gen(tc, r);
+                for (unsigned m = 0; m < tc.messagesPerNode; ++m) {
+                    if (!gen.sendNow())
+                        co_await ctx.compute(
+                            tc.messageBytes / 4); // idle slot
+                    NodeId d = gen.nextDestination();
+                    co_await udmaTransfer(ctx, 0, window[d], src,
+                                          tc.messageBytes, true);
+                }
+            });
+    }
+
+    Tick t0 = 0;
+    sys.runUntilAllDone(Tick(600) * tickSec);
+    sys.run();
+
+    PatternResult res;
+    res.wallUs = ticksToUs(sys.eq().now() - t0);
+    std::uint64_t total_bytes = 0;
+    for (unsigned r = 0; r < n; ++r)
+        total_bytes += sys.node(r).ni()->bytesDelivered();
+    res.aggregateMBs =
+        total_bytes / res.wallUs * 1e6 / (1 << 20);
+    res.hotDelivered =
+        sys.node(tc.hotspotNode).ni()->messagesDelivered();
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    TrafficConfig base;
+    base.nodes = 4;
+    base.messageBytes = 4096;
+    base.messagesPerNode = 24;
+    base.seed = 7;
+
+    std::printf("# Traffic patterns, %u nodes, %u x %u B per node\n",
+                base.nodes, base.messagesPerNode, base.messageBytes);
+    std::printf("%-18s %12s %14s %18s\n", "pattern", "wall_us",
+                "aggregate_MB_s", "hot_node_msgs");
+
+    for (Pattern p :
+         {Pattern::NearestNeighbor, Pattern::Transpose,
+          Pattern::UniformRandom, Pattern::Hotspot, Pattern::Bursty}) {
+        TrafficConfig tc = base;
+        tc.pattern = p;
+        auto r = runPattern(tc);
+        std::printf("%-18s %12.0f %14.2f %18llu\n", patternName(p),
+                    r.wallUs, r.aggregateMBs,
+                    (unsigned long long)r.hotDelivered);
+    }
+
+    std::printf("\n# Reading: permutation patterns scale with the "
+                "node count (every receiver's EISA engine busy); "
+                "hotspot serializes on the hot receiver's bus and "
+                "drags aggregate bandwidth toward the single-link "
+                "rate.\n");
+    return 0;
+}

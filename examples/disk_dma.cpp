@@ -1,0 +1,113 @@
+/**
+ * @file
+ * UDMA with a block device: demonstrates that the mechanism "can be
+ * used with a wide variety of I/O devices including ... data storage
+ * devices such as disks" (paper Section 1), and in particular the
+ * device-to-memory direction that invariant I3 exists for:
+ *
+ *  - a disk *write* is a memory->device UDMA (LOAD names the memory
+ *    source);
+ *  - a disk *read* is a device->memory UDMA (STORE names the memory
+ *    destination via its proxy address, which requires the
+ *    destination page to be dirty — the kernel's proxy-write fault
+ *    upgrades it, exactly as Section 6 prescribes).
+ *
+ * The example prints the kernel's fault counters so the I3 upgrade is
+ * visible, and verifies the data round-trips.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+int
+main()
+{
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = 8 << 20;
+    DeviceConfig disk;
+    disk.kind = DeviceKind::Disk;
+    disk.diskBytes = 1 << 20;
+    cfg.node.devices.push_back(disk);
+    System sys(cfg);
+    auto &node = sys.node(0);
+
+    node.kernel().spawn("dbwriter", [&](os::UserContext &ctx)
+                                        -> sim::ProcTask {
+        const std::uint32_t pb = ctx.pageBytes();
+        Addr buf = co_await ctx.sysAllocMemory(2 * pb);
+        // A "database record" in page 0.
+        for (unsigned i = 0; i < pb / 8; ++i)
+            co_await ctx.store(buf + i * 8, 0xAB00000000000000ull | i);
+
+        // Map disk blocks 4..5 (block == page) into our window.
+        Addr dwin = co_await ctx.sysMapDeviceProxy(0, 4, 2, true);
+
+        // ---- Write page 0 of the buffer to disk block 4. ----
+        Tick t0 = ctx.kernel().eq().now();
+        co_await udmaTransfer(ctx, 0, dwin, buf, pb, true);
+        Tick t1 = ctx.kernel().eq().now();
+        std::printf("disk write: 4 KB in %.0f us (seek+burst)\n",
+                    ticksToUs(t1 - t0));
+
+        // ---- Read it back into the second (fresh) page. ----
+        // The destination proxy page gets its mapping on demand; the
+        // kernel marks the real page dirty before granting a writable
+        // proxy mapping (I3's creation path).
+        Tick t2 = ctx.kernel().eq().now();
+        co_await udmaTransferFromDevice(ctx, 0, buf + pb, dwin, pb,
+                                        true);
+        Tick t3 = ctx.kernel().eq().now();
+        std::printf("disk read:  4 KB in %.0f us\n",
+                    ticksToUs(t3 - t2));
+
+        // ---- The full I3 cycle: clean, then read again. ----
+        // The pageout daemon "cleans" the destination page (writes it
+        // to backing store, clears its dirty bit, write-protects its
+        // proxy mapping). The next disk read's proxy STORE then takes
+        // a protection fault, and the kernel upgrades: marks the page
+        // dirty again and re-enables the proxy write — Section 6's
+        // "Maintaining I3" path, end to end.
+        co_await ctx.syscall([buf, pb](os::Kernel &k, os::Process &p,
+                                       os::SyscallControl &sc) {
+            Tick lat = 0;
+            bool ok = k.cleanPage(p, buf + pb, lat);
+            sc.extraLatency = lat;
+            sc.result = ok ? 0 : 1;
+        });
+        std::uint64_t upgrades_before =
+            ctx.kernel().proxyWriteUpgrades();
+        co_await udmaTransferFromDevice(ctx, 0, buf + pb, dwin, pb,
+                                        true);
+        std::printf("after cleaning, re-read triggered %llu I3 "
+                    "proxy-write upgrade(s)\n",
+                    (unsigned long long)(ctx.kernel()
+                                             .proxyWriteUpgrades()
+                                         - upgrades_before));
+
+        // Verify the round trip with user-level loads.
+        bool ok = true;
+        for (unsigned i = 0; i < pb / 8; i += 64) {
+            std::uint64_t v = co_await ctx.load(buf + pb + i * 8);
+            if (v != (0xAB00000000000000ull | i))
+                ok = false;
+        }
+        std::printf("round-trip verify: %s\n", ok ? "OK" : "FAILED");
+    });
+
+    sys.runUntilAllDone();
+    auto *d = node.disk();
+    std::printf("disk: %llu block reads, %llu block writes\n",
+                (unsigned long long)d->blockReads(),
+                (unsigned long long)d->blockWrites());
+    std::printf("kernel: %llu proxy faults, %llu I3 write upgrades\n",
+                (unsigned long long)node.kernel().proxyFaults(),
+                (unsigned long long)node.kernel().proxyWriteUpgrades());
+    return 0;
+}

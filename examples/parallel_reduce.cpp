@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A small parallel program on the four-node SHRIMP prototype: a
+ * block-distributed dot product. Rank 0 broadcasts one vector, each
+ * rank computes its partial sum over its own block, and an all-reduce
+ * combines the partials — every byte of communication is user-level
+ * UDMA (deliberate-update payloads, automatic-update credits),
+ * synchronized with dissemination barriers.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/system.hh"
+#include "msg/collective.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+int
+main()
+{
+    constexpr unsigned nodes = 4;
+    constexpr std::uint32_t elems = 4096; // 32 KB vector of u64
+    constexpr std::uint32_t bytes = elems * 8;
+
+    SystemConfig cfg;
+    cfg.nodes = nodes;
+    cfg.node.memBytes = 8 << 20;
+    cfg.params.quantumUs = 500.0;
+    cfg.node.devices.push_back(DeviceConfig{});
+    System sys(cfg);
+
+    msg::CommRendezvous rv(nodes);
+    std::vector<std::uint64_t> results(nodes, 0);
+    Tick t_start = 0, t_end = 0;
+
+    for (unsigned r = 0; r < nodes; ++r) {
+        auto *node = &sys.node(r);
+        node->kernel().spawn(
+            "rank" + std::to_string(r),
+            [&, r, node](os::UserContext &ctx) -> sim::ProcTask {
+                msg::Communicator comm(ctx, 0, *node->ni(), r, rv);
+                if (!co_await comm.setup())
+                    fatal("mesh setup failed on rank ", r);
+
+                Addr vec = co_await ctx.sysAllocMemory(bytes);
+                if (r == 0) {
+                    // Root owns the data: v[i] = i+1.
+                    std::vector<std::uint64_t> data(elems);
+                    for (std::uint32_t i = 0; i < elems; ++i)
+                        data[i] = i + 1;
+                    ctx.kernel().pokeBytes(ctx.process(), vec,
+                                           data.data(), bytes);
+                    t_start = ctx.kernel().eq().now();
+                }
+                co_await comm.broadcast(0, vec, bytes);
+                co_await comm.barrier();
+
+                // Each rank sums its contiguous block.
+                std::uint32_t per = elems / nodes;
+                std::uint64_t partial = 0;
+                for (std::uint32_t i = r * per; i < (r + 1) * per;
+                     ++i) {
+                    partial += co_await ctx.load(vec + i * 8);
+                    if (i % 64 == 0)
+                        co_await ctx.compute(32); // "work"
+                }
+                results[r] = co_await comm.allReduceSum(partial);
+                co_await comm.barrier();
+                if (r == 0)
+                    t_end = ctx.kernel().eq().now();
+            });
+    }
+
+    sys.runUntilAllDone(Tick(600) * tickSec);
+    sys.run();
+
+    std::uint64_t expect = std::uint64_t(elems) * (elems + 1) / 2;
+    bool all_agree = true;
+    for (unsigned r = 0; r < nodes; ++r)
+        all_agree = all_agree && results[r] == expect;
+    std::printf("sum(1..%u) = %llu on every rank: %s\n", elems,
+                (unsigned long long)results[0],
+                all_agree && results[0] == expect ? "CORRECT"
+                                                  : "WRONG");
+    std::printf("broadcast + compute + allreduce + barriers: %.0f us "
+                "on %u nodes\n",
+                ticksToUs(t_end - t_start), nodes);
+    std::printf("network carried %llu bytes; every one initiated "
+                "from user level\n",
+                (unsigned long long)sys.net().bytesRouted());
+    return 0;
+}

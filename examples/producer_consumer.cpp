@@ -1,0 +1,93 @@
+/**
+ * @file
+ * User-level message passing built entirely on the paper's two SHRIMP
+ * mechanisms: a producer streams records to a consumer through a
+ * ring-buffer channel whose payloads travel by *deliberate update*
+ * (two-reference UDMA sends) and whose flow-control credits travel
+ * back by *automatic update* (one snooped store per acknowledgment).
+ *
+ * After the one-time setup there is not a single system call on the
+ * data path in either direction — the paper's whole point.
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+#include "msg/channel.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+int
+main()
+{
+    SystemConfig cfg;
+    cfg.nodes = 2;
+    cfg.node.memBytes = 8 << 20;
+    cfg.node.devices.push_back(DeviceConfig{});
+    System sys(cfg);
+
+    auto &prod = sys.node(0);
+    auto &cons = sys.node(1);
+    msg::ChannelRendezvous rv;
+    rv.slots = 8;
+
+    constexpr int records = 64;
+    constexpr std::uint32_t recordBytes = 1024;
+
+    std::uint64_t checksum_sent = 0;
+    std::uint64_t checksum_recv = 0;
+    Tick first_send = 0, last_recv = 0;
+
+    prod.kernel().spawn("producer", [&](os::UserContext &ctx)
+                                        -> sim::ProcTask {
+        msg::SenderChannel ch(ctx, 0, *prod.ni(), cons.id());
+        if (!co_await ch.connect(rv))
+            fatal("channel connect failed");
+        Addr buf = co_await ctx.sysAllocMemory(recordBytes);
+        first_send = ctx.kernel().eq().now();
+        for (int r = 0; r < records; ++r) {
+            for (std::uint32_t off = 0; off < recordBytes; off += 8) {
+                std::uint64_t word =
+                    (std::uint64_t(r) << 32) | off;
+                checksum_sent += word;
+                co_await ctx.store(buf + off, word);
+            }
+            co_await ch.send(buf, recordBytes);
+        }
+        std::printf("producer: %d records sent, %llu unacked at "
+                    "finish\n",
+                    records,
+                    (unsigned long long)co_await ch.unacked());
+    });
+
+    cons.kernel().spawn("consumer", [&](os::UserContext &ctx)
+                                        -> sim::ProcTask {
+        msg::ReceiverChannel ch(ctx, 0, *cons.ni(), prod.id());
+        if (!co_await ch.bind(rv))
+            fatal("channel bind failed");
+        for (int r = 0; r < records; ++r) {
+            std::uint32_t len = 0;
+            Addr payload = co_await ch.recvZeroCopy(len);
+            for (std::uint32_t off = 0; off < len; off += 8)
+                checksum_recv += co_await ctx.load(payload + off);
+            co_await ch.ackLast();
+        }
+        last_recv = ctx.kernel().eq().now();
+    });
+
+    sys.runUntilAllDone(Tick(120) * tickSec);
+    sys.run();
+
+    double us = ticksToUs(last_recv - first_send);
+    std::printf("consumer: %d x %u B in %.0f us = %.2f MB/s, "
+                "checksums %s\n",
+                records, recordBytes, us,
+                records * double(recordBytes) / us * 1e6 / (1 << 20),
+                checksum_sent == checksum_recv ? "MATCH" : "MISMATCH");
+    std::printf("credits: %llu automatic updates "
+                "(%llu combined) carried every acknowledgment\n",
+                (unsigned long long)cons.ni()->autoUpdatesSent(),
+                (unsigned long long)cons.ni()->autoUpdatesCombined());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: the smallest complete UDMA program.
+ *
+ * Builds a one-node machine with a frame buffer behind a UDMA
+ * controller, runs one user process that
+ *   1. allocates a buffer and fills it,
+ *   2. maps the frame buffer's device proxy window,
+ *   3. starts a DMA with the paper's two-reference sequence
+ *      (via the user-level library), and
+ *   4. polls for completion with a single LOAD,
+ * then prints what happened and how long each step took.
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+int
+main()
+{
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = 8 << 20;
+    DeviceConfig fb;
+    fb.kind = DeviceKind::FrameBuffer;
+    fb.fbWidth = 320;
+    fb.fbHeight = 240;
+    cfg.node.devices.push_back(fb);
+
+    System sys(cfg);
+    auto &node = sys.node(0);
+
+    node.kernel().spawn("quickstart", [&](os::UserContext &ctx)
+                                          -> sim::ProcTask {
+        // 1. An ordinary user buffer; stores go through the MMU.
+        Addr buf = co_await ctx.sysAllocMemory(4096);
+        for (unsigned i = 0; i < 512; ++i)
+            co_await ctx.store(buf + i * 8, 0x00FF00FF00FF00FFull);
+
+        // 2. Map the first 4 KB of the frame buffer's proxy window.
+        Addr fbwin = co_await ctx.sysMapDeviceProxy(/*device=*/0,
+                                                    /*first_page=*/0,
+                                                    /*n_pages=*/1,
+                                                    /*writable=*/true);
+
+        // 3. One protected, user-level DMA: two memory references.
+        //    The first initiation is cold: it takes the on-demand
+        //    proxy-mapping page faults (Section 6). Steady state is
+        //    the paper's 2.8 us.
+        Tick t0 = ctx.kernel().eq().now();
+        dma::Status st = co_await udmaStart(
+            ctx, /*dest=*/fbwin, /*src=*/ctx.proxyAddr(buf, 0),
+            /*nbytes=*/4096);
+        Tick t1 = ctx.kernel().eq().now();
+        std::printf("cold initiation: started=%s clamped_bytes=%u "
+                    "(%.2f us, includes proxy-mapping faults)\n",
+                    st.initiationFailed ? "no" : "yes",
+                    st.remainingBytes, ticksToUs(t1 - t0));
+
+        // 4. Completion: repeat the LOAD until MATCH clears.
+        std::uint64_t polls =
+            co_await udmaWait(ctx, ctx.proxyAddr(buf, 0));
+        Tick t2 = ctx.kernel().eq().now();
+        std::printf("transfer complete after %llu polls "
+                    "(%.2f us total for 4 KB -> %.2f MB/s)\n",
+                    (unsigned long long)polls, ticksToUs(t2 - t0),
+                    4096.0 / ticksToUs(t2 - t0) * 1e6 / (1 << 20));
+
+        // 5. Steady state: mappings are warm now.
+        Tick t3 = ctx.kernel().eq().now();
+        co_await udmaStart(ctx, fbwin, ctx.proxyAddr(buf, 0), 4096);
+        Tick t4 = ctx.kernel().eq().now();
+        std::printf("warm initiation: %.2f us (paper: ~2.8 us)\n",
+                    ticksToUs(t4 - t3));
+        co_await udmaWait(ctx, ctx.proxyAddr(buf, 0));
+    });
+
+    sys.runUntilAllDone();
+
+    // Host-side check: the pixels really landed.
+    auto *fbdev = node.frameBuffer();
+    std::printf("framebuffer pixel(0,0) = 0x%08x (expect 0x00ff00ff)\n",
+                fbdev->pixel(0, 0));
+    std::printf("kernel: %llu page faults, %llu proxy faults, "
+                "%llu context switches\n",
+                (unsigned long long)node.kernel().pageFaults(),
+                (unsigned long long)node.kernel().proxyFaults(),
+                (unsigned long long)node.kernel().contextSwitches());
+    return 0;
+}

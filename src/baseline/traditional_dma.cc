@@ -1,0 +1,126 @@
+#include "baseline/traditional_dma.hh"
+
+namespace shrimp::baseline
+{
+
+void
+TraditionalDmaDriver::requestDma(os::Kernel &kernel, os::Process &proc,
+                                 os::SyscallControl &sc, bool to_device,
+                                 Addr va, Addr dev_offset,
+                                 std::uint32_t nbytes, Mode mode)
+{
+    Tick lat = 0;
+
+    // Step 2 (Section 2): translate the virtual addresses, verify the
+    // user's permission, and build the transfer descriptor.
+    std::vector<dma::Segment> segments;
+    if (!kernel.buildDmaSegments(proc, va, nbytes, !to_device, segments,
+                                 lat)) {
+        sc.extraLatency = lat;
+        sc.result = resultBadRange;
+        return;
+    }
+
+    std::uint8_t err =
+        device_.validateTransfer(to_device, dev_offset, nbytes);
+    if (err != dma::device_error::none) {
+        sc.extraLatency = lat;
+        sc.result = resultDeviceError;
+        return;
+    }
+
+    if (mode == Mode::PinPages) {
+        if (!kernel.pinRange(proc, va, nbytes, lat)) {
+            sc.extraLatency = lat;
+            sc.result = resultBadRange;
+            return;
+        }
+    } else {
+        // Bounce-buffer mode: copy between the user pages and the
+        // pre-pinned kernel I/O buffer. The copy is charged here; the
+        // engine then reads the same bytes (the buffer is modelled as
+        // aliasing the user frames — a pure timing substitution).
+        double words = double(nbytes) / params_.busWordBytes;
+        lat += params_.instrTicks(words * params_.dmaCopyInstrPerWord);
+    }
+
+    lat += params_.instrTicks(params_.dmaDescriptorInstr);
+
+    Request req;
+    req.kernel = &kernel;
+    req.proc = &proc;
+    req.toDevice = to_device;
+    req.va = va;
+    req.devOffset = dev_offset;
+    req.nbytes = nbytes;
+    req.mode = mode;
+    req.segments = std::move(segments);
+
+    sc.extraLatency = lat;
+    sc.result = resultOk;
+    sc.blocks = true;
+
+    // The device is started once the kernel work above has elapsed.
+    eq_.scheduleIn(lat, "tdma.enqueue", [this, req = std::move(req)] {
+        queue_.push_back(std::move(req));
+        startNext();
+    });
+}
+
+void
+TraditionalDmaDriver::startNext()
+{
+    if (active_ || queue_.empty())
+        return;
+    active_ = true;
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+
+    dma::TransferDesc desc;
+    desc.toDevice = current_.toDevice;
+    desc.segments = current_.segments;
+    desc.devOffset = current_.devOffset;
+    desc.onComplete = [this] { complete(); };
+    engine_.start(std::move(desc));
+}
+
+void
+TraditionalDmaDriver::complete()
+{
+    // Step 4 (Section 2): completion interrupt, unpin, reschedule.
+    ++interrupts_;
+    Tick lat = params_.instrTicks(params_.dmaInterruptInstr);
+    if (current_.mode == Mode::PinPages) {
+        std::uint64_t pages =
+            (current_.va % current_.kernel->layout().pageBytes()
+             + current_.nbytes
+             + current_.kernel->layout().pageBytes() - 1)
+            / current_.kernel->layout().pageBytes();
+        lat += params_.instrTicks(double(pages)
+                                  * params_.dmaUnpinInstrPerPage);
+    } else {
+        // Bounce-buffer mode: a device->memory transfer must be
+        // copied out to the user's pages now.
+        if (!current_.toDevice) {
+            double words =
+                double(current_.nbytes) / params_.busWordBytes;
+            lat += params_.instrTicks(words
+                                      * params_.dmaCopyInstrPerWord);
+        }
+    }
+
+    eq_.scheduleIn(lat, "tdma.interrupt", [this] {
+        if (current_.mode == Mode::PinPages) {
+            current_.kernel->unpinRange(*current_.proc, current_.va,
+                                        current_.nbytes);
+        }
+        ++completed_;
+        os::Process *proc = current_.proc;
+        os::Kernel *kernel = current_.kernel;
+        active_ = false;
+        startNext();
+        kernel->wakeWithResult(*proc, resultOk);
+    });
+}
+
+} // namespace shrimp::baseline

@@ -1,0 +1,250 @@
+#include "core/system.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <ostream>
+
+#include "sim/trace.hh"
+
+namespace shrimp::core
+{
+
+namespace
+{
+
+/**
+ * Honour SHRIMP_TRACE=dma,vm,os,ni,bus (or "all"): enable those
+ * trace categories on stderr. Lets every example and bench be traced
+ * without recompilation.
+ */
+void
+applyTraceEnv()
+{
+    const char *env = std::getenv("SHRIMP_TRACE");
+    if (!env || !*env)
+        return;
+    trace::setSink(&std::cerr);
+    std::string spec(env);
+    auto want = [&](const char *name) {
+        return spec == "all"
+               || spec.find(name) != std::string::npos;
+    };
+    if (want("dma"))
+        trace::enable(trace::Category::Dma);
+    if (want("vm"))
+        trace::enable(trace::Category::Vm);
+    if (want("os"))
+        trace::enable(trace::Category::Os);
+    if (want("ni"))
+        trace::enable(trace::Category::Ni);
+    if (want("bus"))
+        trace::enable(trace::Category::Bus);
+}
+
+} // namespace
+
+Node::Node(System &sys, NodeId id, const SystemConfig &cfg) : id_(id)
+{
+    const auto &params = sys.params();
+    const auto &layout = sys.layout();
+
+    memory_ = std::make_unique<mem::PhysicalMemory>(
+        cfg.node.memBytes, params.pageBytes);
+    ioBus_ = std::make_unique<bus::IoBus>(sys.eq(), params);
+    mmu_ = std::make_unique<vm::Mmu>(layout);
+    kernel_ = std::make_unique<os::Kernel>(sys.eq(), params, layout,
+                                           *memory_, *ioBus_, *mmu_);
+
+    for (unsigned slot = 0; slot < cfg.node.devices.size(); ++slot) {
+        const DeviceConfig &dc = cfg.node.devices[slot];
+        slotKinds_.push_back(dc.kind);
+        controllers_.emplace_back(nullptr);
+        drivers_.emplace_back(nullptr);
+
+        if (dc.kind == DeviceKind::FifoNic) {
+            devices_.emplace_back(nullptr);
+            fifoNic_ = std::make_unique<baseline::FifoNic>(
+                sys.eq(), params, id, *ioBus_, sys.fifoFabric(), slot,
+                params.pageBytes);
+            kernel_->registerDeviceWindow(
+                slot, fifoNic_->proxyExtentBytes());
+            continue;
+        }
+
+        std::unique_ptr<dma::UdmaDevice> udev;
+        switch (dc.kind) {
+          case DeviceKind::ShrimpNi: {
+            auto ni = std::make_unique<net::NetworkInterface>(
+                sys.eq(), params, id, *memory_, *ioBus_, sys.net(),
+                params.pageBytes);
+            ni_ = ni.get();
+            udev = std::move(ni);
+            break;
+          }
+          case DeviceKind::FrameBuffer: {
+            auto fb = std::make_unique<dev::FrameBuffer>(dc.fbWidth,
+                                                         dc.fbHeight);
+            fb_ = fb.get();
+            udev = std::move(fb);
+            break;
+          }
+          case DeviceKind::Disk: {
+            auto disk =
+                std::make_unique<dev::Disk>(params, dc.diskBytes);
+            disk_ = disk.get();
+            udev = std::move(disk);
+            break;
+          }
+          case DeviceKind::StreamSink: {
+            auto sink = std::make_unique<dev::StreamSink>(dc.sinkBytes);
+            sink_ = sink.get();
+            udev = std::move(sink);
+            break;
+          }
+          case DeviceKind::FifoNic:
+            break; // handled above
+        }
+
+        if (dc.driver == DriverKind::Udma) {
+            controllers_[slot] = std::make_unique<dma::UdmaController>(
+                sys.eq(), params, layout, *memory_, *ioBus_, *udev, slot,
+                dc.queueDepth);
+            kernel_->attachController(controllers_[slot].get());
+        } else {
+            drivers_[slot] =
+                std::make_unique<baseline::TraditionalDmaDriver>(
+                    sys.eq(), params, *memory_, *ioBus_, *udev);
+        }
+        devices_.push_back(std::move(udev));
+    }
+
+    // The SHRIMP board snoops the memory bus for automatic update.
+    if (ni_) {
+        auto *ni = ni_;
+        kernel_->addStoreSnooper([ni](Addr paddr, std::uint64_t value) {
+            return ni->snoopStore(paddr, value);
+        });
+    }
+}
+
+Node::~Node() = default;
+
+dma::UdmaController *
+Node::controller(unsigned device)
+{
+    return device < controllers_.size() ? controllers_[device].get()
+                                        : nullptr;
+}
+
+baseline::TraditionalDmaDriver *
+Node::tradDriver(unsigned device)
+{
+    return device < drivers_.size() ? drivers_[device].get() : nullptr;
+}
+
+int
+Node::deviceIndexOf(DeviceKind kind) const
+{
+    for (unsigned i = 0; i < slotKinds_.size(); ++i) {
+        if (slotKinds_[i] == kind)
+            return int(i);
+    }
+    return -1;
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg),
+      layout_(cfg.node.memBytes, cfg.params.pageBytes,
+              std::max<unsigned>(1, unsigned(cfg.node.devices.size()))),
+      net_(eq_, cfg_.params), fifoFabric_(eq_, cfg_.params)
+{
+    if (cfg.nodes == 0)
+        fatal("a system needs at least one node");
+    applyTraceEnv();
+    for (unsigned i = 0; i < cfg.nodes; ++i)
+        nodes_.push_back(std::make_unique<Node>(*this, i, cfg_));
+}
+
+System::~System() = default;
+
+void
+System::dumpStats(std::ostream &os)
+{
+    os << "sim.ticks " << eq_.now() << "\n";
+    os << "sim.events " << eq_.eventsExecuted() << "\n";
+    os << "net.bytesRouted " << net_.bytesRouted() << "\n";
+    for (auto &np : nodes_) {
+        Node &n = *np;
+        std::string p = "node" + std::to_string(n.id()) + ".";
+        auto &k = n.kernel();
+        os << p << "kernel.contextSwitches " << k.contextSwitches()
+           << "\n";
+        os << p << "kernel.pageFaults " << k.pageFaults() << "\n";
+        os << p << "kernel.proxyFaults " << k.proxyFaults() << "\n";
+        os << p << "kernel.proxyWriteUpgrades "
+           << k.proxyWriteUpgrades() << "\n";
+        os << p << "kernel.evictions " << k.evictions() << "\n";
+        os << p << "kernel.evictionI4Skips " << k.evictionI4Skips()
+           << "\n";
+        os << p << "kernel.processesKilled " << k.processesKilled()
+           << "\n";
+        os << p << "kernel.freeFrames " << k.freeFrames() << "\n";
+        os << p << "swap.pageWrites "
+           << k.backingStore().pageWrites() << "\n";
+        os << p << "swap.pageReads " << k.backingStore().pageReads()
+           << "\n";
+        os << p << "bus.bursts " << n.ioBus().burstCount() << "\n";
+        os << p << "bus.words " << n.ioBus().wordCount() << "\n";
+        os << p << "bus.busyTicks " << n.ioBus().busyTicks() << "\n";
+        os << p << "tlb.hits " << n.mmu().tlb().hits() << "\n";
+        os << p << "tlb.misses " << n.mmu().tlb().misses() << "\n";
+        for (auto *c : k.controllers()) {
+            std::string cp =
+                p + "udma" + std::to_string(c->deviceIndex()) + ".";
+            os << cp << "transfersStarted " << c->transfersStarted()
+               << "\n";
+            os << cp << "statusLoads " << c->statusLoads() << "\n";
+            os << cp << "badLoads " << c->badLoads() << "\n";
+            os << cp << "invalsApplied " << c->invalsApplied()
+               << "\n";
+            os << cp << "queueRefusals " << c->queueRefusals()
+               << "\n";
+            os << cp << "engine.bytesMoved "
+               << c->engine().bytesMoved() << "\n";
+            os << cp << "engine.stalls " << c->engine().stallEvents()
+               << "\n";
+        }
+        if (auto *ni = n.ni()) {
+            os << p << "ni.messagesSent " << ni->messagesSent()
+               << "\n";
+            os << p << "ni.messagesDelivered "
+               << ni->messagesDelivered() << "\n";
+            os << p << "ni.bytesDelivered " << ni->bytesDelivered()
+               << "\n";
+            os << p << "ni.autoUpdatesSent " << ni->autoUpdatesSent()
+               << "\n";
+            os << p << "ni.autoUpdatesCombined "
+               << ni->autoUpdatesCombined() << "\n";
+        }
+    }
+}
+
+Tick
+System::runUntilAllDone(Tick limit)
+{
+    Tick t = eq_.runUntil(
+        [this] {
+            for (auto &n : nodes_) {
+                if (!n->kernel().allProcessesDone())
+                    return false;
+            }
+            return true;
+        },
+        limit);
+    for (auto &n : nodes_)
+        n->kernel().rethrowProcessFailures();
+    return t;
+}
+
+} // namespace shrimp::core

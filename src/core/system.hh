@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The public entry point: build a SHRIMP multicomputer.
+ *
+ * A System owns the event queue, the backplane interconnect, and N
+ * identical nodes. Each node is a Pentium-Xpress-class PC: physical
+ * memory, MMU, I/O (EISA) bus, a kernel, and a configurable set of
+ * devices, each fronted either by a UDMA controller (the paper's
+ * mechanism) or by the traditional kernel-initiated DMA driver (the
+ * baseline), or — for the FIFO-NIC baseline — by a plain memory-mapped
+ * interface.
+ *
+ * Typical use:
+ *
+ *   core::SystemConfig cfg;
+ *   cfg.nodes = 2;
+ *   cfg.node.devices.push_back({core::DeviceKind::ShrimpNi});
+ *   core::System sys(cfg);
+ *   sys.node(0).kernel().spawn("sender", ...);
+ *   sys.runUntilAllDone();
+ */
+
+#ifndef SHRIMP_CORE_SYSTEM_HH
+#define SHRIMP_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baseline/fifo_nic.hh"
+#include "baseline/traditional_dma.hh"
+#include "bus/io_bus.hh"
+#include "dev/disk.hh"
+#include "dev/frame_buffer.hh"
+#include "dev/stream_sink.hh"
+#include "dma/udma_controller.hh"
+#include "mem/physical_memory.hh"
+#include "os/kernel.hh"
+#include "shrimp/interconnect.hh"
+#include "shrimp/network_interface.hh"
+#include "sim/event_queue.hh"
+#include "sim/params.hh"
+#include "vm/layout.hh"
+#include "vm/mmu.hh"
+
+namespace shrimp::core
+{
+
+/** The kinds of devices a node can carry. */
+enum class DeviceKind
+{
+    ShrimpNi,    ///< the SHRIMP network interface (Section 8)
+    FrameBuffer, ///< graphics frame buffer
+    Disk,        ///< block storage
+    StreamSink,  ///< HIPPI-class channel endpoint (benchmarks)
+    FifoNic,     ///< memory-mapped FIFO NIC baseline (Section 9)
+};
+
+/** How a DMA-capable device is driven. */
+enum class DriverKind
+{
+    Udma,        ///< UDMA controller (the paper's mechanism)
+    Traditional, ///< kernel-initiated DMA baseline
+};
+
+/** One device slot. */
+struct DeviceConfig
+{
+    DeviceKind kind = DeviceKind::ShrimpNi;
+    DriverKind driver = DriverKind::Udma;
+    /** Section 7 hardware queue depth (0 = basic UDMA). */
+    std::uint32_t queueDepth = 0;
+    // Device-specific knobs.
+    std::uint32_t fbWidth = 640;
+    std::uint32_t fbHeight = 480;
+    std::uint64_t diskBytes = std::uint64_t(16) << 20;
+    std::uint64_t sinkBytes = std::uint64_t(1) << 30;
+};
+
+/** Per-node configuration (all nodes identical). */
+struct NodeConfig
+{
+    std::uint64_t memBytes = std::uint64_t(16) << 20;
+    std::vector<DeviceConfig> devices;
+};
+
+/** Whole-machine configuration. */
+struct SystemConfig
+{
+    unsigned nodes = 1;
+    sim::MachineParams params;
+    NodeConfig node;
+};
+
+class System;
+
+/** One node of the multicomputer. */
+class Node
+{
+  public:
+    Node(System &sys, NodeId id, const SystemConfig &cfg);
+    ~Node();
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    NodeId id() const { return id_; }
+    mem::PhysicalMemory &memory() { return *memory_; }
+    bus::IoBus &ioBus() { return *ioBus_; }
+    vm::Mmu &mmu() { return *mmu_; }
+    os::Kernel &kernel() { return *kernel_; }
+
+    /** The first SHRIMP NI on the node (nullptr if none). */
+    net::NetworkInterface *ni() { return ni_; }
+    dev::FrameBuffer *frameBuffer() { return fb_; }
+    dev::Disk *disk() { return disk_; }
+    dev::StreamSink *streamSink() { return sink_; }
+    baseline::FifoNic *fifoNic() { return fifoNic_.get(); }
+
+    /** UDMA controller for device slot @p device (nullptr if that
+     *  slot uses another driver). */
+    dma::UdmaController *controller(unsigned device);
+
+    /** Traditional driver for slot @p device (nullptr otherwise). */
+    baseline::TraditionalDmaDriver *tradDriver(unsigned device);
+
+    /** Device slot index of the first device of @p kind (or -1). */
+    int deviceIndexOf(DeviceKind kind) const;
+
+  private:
+    NodeId id_;
+    std::unique_ptr<mem::PhysicalMemory> memory_;
+    std::unique_ptr<bus::IoBus> ioBus_;
+    std::unique_ptr<vm::Mmu> mmu_;
+    std::unique_ptr<os::Kernel> kernel_;
+
+    std::vector<std::unique_ptr<dma::UdmaDevice>> devices_;
+    std::vector<std::unique_ptr<dma::UdmaController>> controllers_;
+    std::vector<std::unique_ptr<baseline::TraditionalDmaDriver>>
+        drivers_;
+    std::vector<DeviceKind> slotKinds_;
+    std::unique_ptr<baseline::FifoNic> fifoNic_;
+
+    net::NetworkInterface *ni_ = nullptr;
+    dev::FrameBuffer *fb_ = nullptr;
+    dev::Disk *disk_ = nullptr;
+    dev::StreamSink *sink_ = nullptr;
+};
+
+/** The whole multicomputer. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    sim::EventQueue &eq() { return eq_; }
+    const sim::MachineParams &params() const { return cfg_.params; }
+    const vm::AddressLayout &layout() const { return layout_; }
+    net::Interconnect &net() { return net_; }
+    baseline::FifoFabric &fifoFabric() { return fifoFabric_; }
+
+    unsigned nodeCount() const { return unsigned(nodes_.size()); }
+    Node &node(unsigned i) { return *nodes_.at(i); }
+
+    /** Run the event loop up to @p limit. */
+    Tick run(Tick limit = maxTick) { return eq_.run(limit); }
+
+    /**
+     * Run until every process on every node is done (or @p limit).
+     * Rethrows any exception a process body terminated with.
+     */
+    Tick runUntilAllDone(Tick limit = maxTick);
+
+    /**
+     * Dump every component's statistics, gem5-style (one
+     * `nodeN.component.stat value` line each), to @p os.
+     */
+    void dumpStats(std::ostream &os);
+
+  private:
+    SystemConfig cfg_;
+    sim::EventQueue eq_;
+    vm::AddressLayout layout_;
+    net::Interconnect net_;
+    baseline::FifoFabric fifoFabric_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+} // namespace shrimp::core
+
+#endif // SHRIMP_CORE_SYSTEM_HH

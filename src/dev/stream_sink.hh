@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A pure data sink/source device for channel benchmarks (stands in for
+ * a HIPPI-class channel endpoint: accepts bytes at bus speed, discards
+ * them, and can source a repeating pattern).
+ */
+
+#ifndef SHRIMP_DEV_STREAM_SINK_HH
+#define SHRIMP_DEV_STREAM_SINK_HH
+
+#include <cstdint>
+
+#include "dma/status.hh"
+#include "dma/udma_device.hh"
+
+namespace shrimp::dev
+{
+
+/** An infinite-extent byte sink/source. */
+class StreamSink : public dma::UdmaDevice
+{
+  public:
+    explicit StreamSink(std::uint64_t extent_bytes = std::uint64_t(1)
+                                                     << 30)
+        : extent_(extent_bytes)
+    {}
+
+    std::string deviceName() const override { return "stream-sink"; }
+
+    std::uint8_t
+    validateTransfer(bool to_device, Addr dev_offset,
+                     std::uint32_t nbytes) override
+    {
+        (void)to_device;
+        if (dev_offset % 4 != 0 || nbytes % 4 != 0)
+            return dma::device_error::alignment;
+        if (dev_offset + nbytes > extent_)
+            return dma::device_error::range;
+        return dma::device_error::none;
+    }
+
+    std::uint64_t
+    deviceBoundary(Addr dev_offset) const override
+    {
+        return dev_offset < extent_ ? extent_ - dev_offset : 1;
+    }
+
+    std::uint32_t
+    pushCapacity(Addr, std::uint32_t want) override
+    {
+        return want;
+    }
+
+    void
+    devicePush(Addr, const std::uint8_t *, std::uint32_t len) override
+    {
+        bytesAccepted_ += len;
+    }
+
+    std::uint32_t
+    pullAvailable(Addr, std::uint32_t want) override
+    {
+        return want;
+    }
+
+    void
+    devicePull(Addr dev_offset, std::uint8_t *out,
+               std::uint32_t len) override
+    {
+        for (std::uint32_t i = 0; i < len; ++i)
+            out[i] = std::uint8_t((dev_offset + i) & 0xff);
+        bytesSourced_ += len;
+    }
+
+    void setEngineWakeup(std::function<void()>) override {}
+
+    std::uint64_t proxyExtentBytes() const override { return extent_; }
+
+    std::uint64_t bytesAccepted() const { return bytesAccepted_; }
+    std::uint64_t bytesSourced() const { return bytesSourced_; }
+
+  private:
+    std::uint64_t extent_;
+    std::uint64_t bytesAccepted_ = 0;
+    std::uint64_t bytesSourced_ = 0;
+};
+
+} // namespace shrimp::dev
+
+#endif // SHRIMP_DEV_STREAM_SINK_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The UDMA status word returned by every proxy-space LOAD
+ * (paper Section 5, "Status Returned by Proxy LOADs").
+ *
+ * Layout (low to high):
+ *   bit 0        INITIATION    zero iff this access started a transfer
+ *   bit 1        TRANSFERRING  engine is in the Transferring state
+ *   bit 2        INVALID       engine is in the Idle state
+ *   bit 3        MATCH         Transferring and the referenced address
+ *                              equals the base address of the transfer
+ *                              in progress (or of a queued request,
+ *                              with the Section 7 queueing extension)
+ *   bit 4        WRONG_SPACE   this access was a BadLoad
+ *   bits 8..15   device-specific error byte
+ *   bits 16..39  REMAINING_BYTES (clamped transfer size / remaining)
+ */
+
+#ifndef SHRIMP_DMA_STATUS_HH
+#define SHRIMP_DMA_STATUS_HH
+
+#include <cstdint>
+
+namespace shrimp::dma
+{
+
+namespace status_bits
+{
+constexpr std::uint64_t initiation = 1ull << 0;
+constexpr std::uint64_t transferring = 1ull << 1;
+constexpr std::uint64_t invalid = 1ull << 2;
+constexpr std::uint64_t match = 1ull << 3;
+constexpr std::uint64_t wrongSpace = 1ull << 4;
+constexpr unsigned deviceErrorShift = 8;
+constexpr std::uint64_t deviceErrorMask = 0xffull << deviceErrorShift;
+constexpr unsigned remainingShift = 16;
+constexpr std::uint64_t remainingMask = 0xffffffull << remainingShift;
+} // namespace status_bits
+
+/** Device-specific error byte values shared across our devices. */
+namespace device_error
+{
+constexpr std::uint8_t none = 0;
+constexpr std::uint8_t alignment = 1 << 0; ///< not 4-byte aligned
+constexpr std::uint8_t queueFull = 1 << 1; ///< Section 7 queue refusal
+constexpr std::uint8_t range = 1 << 2;     ///< beyond device extent
+constexpr std::uint8_t direction = 1 << 3; ///< unsupported direction
+} // namespace device_error
+
+/** Structured view of a status word. */
+struct Status
+{
+    bool initiationFailed = true; ///< INITIATION bit (0 = started)
+    bool transferring = false;
+    bool invalid = false;
+    bool match = false;
+    bool wrongSpace = false;
+    std::uint8_t deviceError = 0;
+    std::uint32_t remainingBytes = 0;
+
+    /** Pack into the bus data word. */
+    std::uint64_t
+    pack() const
+    {
+        using namespace status_bits;
+        std::uint64_t w = 0;
+        if (initiationFailed)
+            w |= initiation;
+        if (transferring)
+            w |= status_bits::transferring;
+        if (invalid)
+            w |= status_bits::invalid;
+        if (match)
+            w |= status_bits::match;
+        if (wrongSpace)
+            w |= status_bits::wrongSpace;
+        w |= (std::uint64_t(deviceError) << deviceErrorShift)
+             & deviceErrorMask;
+        w |= (std::uint64_t(remainingBytes) << remainingShift)
+             & remainingMask;
+        return w;
+    }
+
+    /** Unpack from the bus data word. */
+    static Status
+    unpack(std::uint64_t w)
+    {
+        using namespace status_bits;
+        Status s;
+        s.initiationFailed = w & initiation;
+        s.transferring = w & status_bits::transferring;
+        s.invalid = w & status_bits::invalid;
+        s.match = w & status_bits::match;
+        s.wrongSpace = w & status_bits::wrongSpace;
+        s.deviceError =
+            std::uint8_t((w & deviceErrorMask) >> deviceErrorShift);
+        s.remainingBytes =
+            std::uint32_t((w & remainingMask) >> remainingShift);
+        return s;
+    }
+};
+
+/** True iff a LOAD's status word says it started a transfer. */
+inline bool
+loadStartedTransfer(std::uint64_t status_word)
+{
+    return (status_word & status_bits::initiation) == 0;
+}
+
+/** True iff the polled transfer is still in flight (MATCH set). */
+inline bool
+loadSaysInFlight(std::uint64_t status_word)
+{
+    return (status_word & status_bits::match) != 0;
+}
+
+} // namespace shrimp::dma
+
+#endif // SHRIMP_DMA_STATUS_HH

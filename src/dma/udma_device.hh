@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The device side of a DMA transfer.
+ *
+ * A UdmaDevice is anything that can be the device endpoint of a UDMA
+ * (or traditional DMA) transfer: the SHRIMP network interface, a frame
+ * buffer, a disk. The DMA engine moves data in chunks; the device
+ * exercises flow control by bounding how much it will currently push
+ * or pull, and pokes the engine when it can make progress again.
+ *
+ * Device proxy addresses are interpreted by the device ("the precise
+ * interpretation of addresses in device proxy space is device
+ * specific" — paper Section 4): the engine passes the offset within
+ * the device proxy window through untouched.
+ */
+
+#ifndef SHRIMP_DMA_UDMA_DEVICE_HH
+#define SHRIMP_DMA_UDMA_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace shrimp::dma
+{
+
+/** Device endpoint interface for DMA transfers. */
+class UdmaDevice
+{
+  public:
+    virtual ~UdmaDevice() = default;
+
+    /** Debug name. */
+    virtual std::string deviceName() const = 0;
+
+    /**
+     * Validate a transfer request before it starts. Returns a
+     * device-specific error byte (device_error::none to accept).
+     *
+     * @param to_device True for memory->device.
+     * @param dev_offset Offset within the device proxy window.
+     * @param nbytes Requested (already page-clamped) byte count.
+     */
+    virtual std::uint8_t validateTransfer(bool to_device, Addr dev_offset,
+                                          std::uint32_t nbytes) = 0;
+
+    /**
+     * Bytes from @p dev_offset to the device's own transfer boundary
+     * (e.g. the NIPT proxy-page end). The hardware clamps optimistic
+     * user requests here, like the SHRIMP board does for page
+     * boundaries (paper Section 8).
+     */
+    virtual std::uint64_t deviceBoundary(Addr dev_offset) const = 0;
+
+    /**
+     * Flow control, device as destination: how many of @p want bytes
+     * the device can take right now (0 = stall).
+     */
+    virtual std::uint32_t pushCapacity(Addr dev_offset,
+                                       std::uint32_t want) = 0;
+
+    /** Deliver @p len bytes to the device (len <= last pushCapacity). */
+    virtual void devicePush(Addr dev_offset, const std::uint8_t *data,
+                            std::uint32_t len) = 0;
+
+    /**
+     * Flow control, device as source: how many of @p want bytes the
+     * device can supply right now (0 = stall).
+     */
+    virtual std::uint32_t pullAvailable(Addr dev_offset,
+                                        std::uint32_t want) = 0;
+
+    /** Take @p len bytes from the device (len <= last pullAvailable). */
+    virtual void devicePull(Addr dev_offset, std::uint8_t *out,
+                            std::uint32_t len) = 0;
+
+    /**
+     * Register the engine's stall-recovery callback. The device calls
+     * it whenever pushCapacity/pullAvailable may have grown.
+     */
+    virtual void setEngineWakeup(std::function<void()> wakeup) = 0;
+
+    /** Lifecycle notifications (header construction hooks, stats). */
+    virtual void
+    transferStarting(bool to_device, Addr dev_offset, std::uint32_t nbytes)
+    {
+        (void)to_device;
+        (void)dev_offset;
+        (void)nbytes;
+    }
+
+    virtual void
+    transferFinished(bool to_device, Addr dev_offset, std::uint32_t nbytes)
+    {
+        (void)to_device;
+        (void)dev_offset;
+        (void)nbytes;
+    }
+
+    /**
+     * Extra engine start latency this device imposes (e.g. the SHRIMP
+     * NIPT lookup and packet header construction).
+     */
+    virtual Tick startLatency(bool to_device, Addr dev_offset) const
+    {
+        (void)to_device;
+        (void)dev_offset;
+        return 0;
+    }
+
+    /**
+     * Size of the meaningful device proxy window. The kernel refuses
+     * sysMapDeviceProxy requests beyond this extent.
+     */
+    virtual std::uint64_t proxyExtentBytes() const = 0;
+
+    /**
+     * Device policy hook for granting a proxy mapping (paper Section
+     * 4: "The system call decides whether to grant permission").
+     */
+    virtual bool
+    allowProxyMap(std::uint64_t first_page, std::uint64_t n_pages,
+                  bool writable) const
+    {
+        (void)first_page;
+        (void)n_pages;
+        (void)writable;
+        return true;
+    }
+};
+
+} // namespace shrimp::dma
+
+#endif // SHRIMP_DMA_UDMA_DEVICE_HH

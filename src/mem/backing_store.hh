@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Swap space for paged-out virtual pages.
+ *
+ * The kernel's page daemon writes (cleans) dirty pages here and reads
+ * them back on a page-in fault. Keyed by (pid, virtual page number).
+ * Purely functional; the kernel charges swap latency.
+ */
+
+#ifndef SHRIMP_MEM_BACKING_STORE_HH
+#define SHRIMP_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace shrimp::mem
+{
+
+/** Per-node swap area. */
+class BackingStore
+{
+  public:
+    explicit BackingStore(std::uint32_t page_bytes)
+        : pageBytes_(page_bytes)
+    {}
+
+    /** True if a page image exists for (pid, vpn). */
+    bool
+    contains(Pid pid, std::uint64_t vpn) const
+    {
+        return pages_.count(Key{pid, vpn}) != 0;
+    }
+
+    /** Store a page image, replacing any previous version. */
+    void
+    store(Pid pid, std::uint64_t vpn, const std::uint8_t *data)
+    {
+        auto &img = pages_[Key{pid, vpn}];
+        img.assign(data, data + pageBytes_);
+        ++writes_;
+    }
+
+    /** Load a page image. Checked error if absent. */
+    void
+    load(Pid pid, std::uint64_t vpn, std::uint8_t *out) const
+    {
+        auto it = pages_.find(Key{pid, vpn});
+        if (it == pages_.end())
+            panic("backing store miss pid=", pid, " vpn=", vpn);
+        std::copy(it->second.begin(), it->second.end(), out);
+        ++reads_;
+    }
+
+    /** Discard all images belonging to a process (exit). */
+    void
+    dropProcess(Pid pid)
+    {
+        for (auto it = pages_.begin(); it != pages_.end();) {
+            if (it->first.pid == pid)
+                it = pages_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    std::uint64_t pageWrites() const { return writes_; }
+    std::uint64_t pageReads() const { return reads_; }
+
+  private:
+    struct Key
+    {
+        Pid pid;
+        std::uint64_t vpn;
+
+        bool
+        operator<(const Key &o) const
+        {
+            return pid != o.pid ? pid < o.pid : vpn < o.vpn;
+        }
+    };
+
+    std::uint32_t pageBytes_;
+    std::map<Key, std::vector<std::uint8_t>> pages_;
+    mutable std::uint64_t writes_ = 0;
+    mutable std::uint64_t reads_ = 0;
+};
+
+} // namespace shrimp::mem
+
+#endif // SHRIMP_MEM_BACKING_STORE_HH

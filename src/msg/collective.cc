@@ -1,0 +1,121 @@
+#include "msg/collective.hh"
+
+#include "os/kernel.hh"
+
+namespace shrimp::msg
+{
+
+sim::Task<bool>
+Communicator::setup()
+{
+    const unsigned n = rv_.size;
+    SHRIMP_ASSERT(rank_ < n, "rank out of range");
+    tx_.resize(n);
+    rx_.resize(n);
+    scratch_ = co_await ctx_.sysAllocMemory(2 * ctx_.pageBytes());
+
+    // Pairwise-ordered handshakes: for each pair (a, b) with a < b,
+    // a connects its sender first while b binds its receiver first.
+    // Both ends export before they wait, and every rank visits pairs
+    // in the same (min, max) order, so no cycle of waits can form.
+    for (unsigned peer = 0; peer < n; ++peer) {
+        if (peer == rank_)
+            continue;
+        tx_[peer] = std::make_unique<SenderChannel>(ctx_, dev_, ni_,
+                                                    peer);
+        rx_[peer] = std::make_unique<ReceiverChannel>(ctx_, dev_, ni_,
+                                                      peer);
+        if (rank_ < peer) {
+            if (!co_await tx_[peer]->connect(rv_.ch[rank_][peer]))
+                co_return false;
+            if (!co_await rx_[peer]->bind(rv_.ch[peer][rank_]))
+                co_return false;
+        } else {
+            if (!co_await rx_[peer]->bind(rv_.ch[peer][rank_]))
+                co_return false;
+            if (!co_await tx_[peer]->connect(rv_.ch[rank_][peer]))
+                co_return false;
+        }
+    }
+    co_return true;
+}
+
+sim::Task<bool>
+Communicator::sendTo(unsigned peer, Addr va, std::uint32_t len)
+{
+    SHRIMP_ASSERT(peer < rv_.size && peer != rank_ && tx_[peer],
+                  "bad peer");
+    co_return co_await tx_[peer]->send(va, len);
+}
+
+sim::Task<std::uint32_t>
+Communicator::recvFrom(unsigned peer, Addr va, std::uint32_t max_len)
+{
+    SHRIMP_ASSERT(peer < rv_.size && peer != rank_ && rx_[peer],
+                  "bad peer");
+    co_return co_await rx_[peer]->recv(va, max_len);
+}
+
+sim::Task<void>
+Communicator::barrier()
+{
+    // Dissemination barrier: log2(n) rounds of token exchange.
+    const unsigned n = rv_.size;
+    for (unsigned hop = 1; hop < n; hop *= 2) {
+        unsigned to = (rank_ + hop) % n;
+        unsigned from = (rank_ + n - (hop % n)) % n;
+        co_await ctx_.store(scratch_, 0xBA44 + hop);
+        co_await tx_[to]->send(scratch_, 8);
+        (void)co_await rx_[from]->recv(scratch_ + ctx_.pageBytes(), 8);
+    }
+    co_return;
+}
+
+sim::Task<void>
+Communicator::broadcast(unsigned root, Addr va, std::uint32_t len)
+{
+    const unsigned n = rv_.size;
+    const std::uint32_t cap =
+        rv_.ch[0][0].payloadCapacity() & ~std::uint32_t(7);
+    if (rank_ == root) {
+        for (std::uint32_t off = 0; off < len; off += cap) {
+            std::uint32_t chunk = std::min(cap, len - off);
+            for (unsigned peer = 0; peer < n; ++peer) {
+                if (peer == root)
+                    continue;
+                co_await tx_[peer]->send(va + off, chunk);
+            }
+        }
+    } else {
+        for (std::uint32_t off = 0; off < len; off += cap) {
+            std::uint32_t chunk = std::min(cap, len - off);
+            (void)co_await rx_[root]->recv(va + off, chunk);
+        }
+    }
+    co_return;
+}
+
+sim::Task<std::uint64_t>
+Communicator::allReduceSum(std::uint64_t value)
+{
+    const unsigned n = rv_.size;
+    constexpr unsigned root = 0;
+    std::uint64_t sum = value;
+    if (rank_ == root) {
+        for (unsigned peer = 1; peer < n; ++peer) {
+            (void)co_await rx_[peer]->recv(scratch_, 8);
+            sum += co_await ctx_.load(scratch_);
+        }
+        co_await ctx_.store(scratch_, sum);
+        for (unsigned peer = 1; peer < n; ++peer)
+            co_await tx_[peer]->send(scratch_, 8);
+    } else {
+        co_await ctx_.store(scratch_, value);
+        co_await tx_[root]->send(scratch_, 8);
+        (void)co_await rx_[root]->recv(scratch_ + 8, 8);
+        sum = co_await ctx_.load(scratch_ + 8);
+    }
+    co_return sum;
+}
+
+} // namespace shrimp::msg

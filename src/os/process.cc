@@ -1,0 +1,15 @@
+#include "os/process.hh"
+
+#include "os/user_context.hh"
+
+namespace shrimp::os
+{
+
+Process::Process(Kernel &kernel, Pid pid, std::string name)
+    : kernel_(kernel), pid_(pid), name_(std::move(name))
+{}
+
+// Out of line so unique_ptr<UserContext> sees the complete type.
+Process::~Process() = default;
+
+} // namespace shrimp::os

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The routing backplane connecting SHRIMP nodes (the prototype used an
+ * Intel Paragon routing backplane).
+ *
+ * Modelled as a crossbar: each node has a dedicated injection link
+ * that serializes its own traffic at linkBytesPerSec, plus a fixed
+ * per-hop routing latency. This is deliberately faster than the EISA
+ * bus on either end, as in the real system, so the network itself is
+ * rarely the bottleneck.
+ */
+
+#ifndef SHRIMP_SHRIMP_INTERCONNECT_HH
+#define SHRIMP_SHRIMP_INTERCONNECT_HH
+
+#include <cstdint>
+#include <map>
+
+#include "sim/event_queue.hh"
+#include "sim/params.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace shrimp::net
+{
+
+class NetworkInterface;
+
+/** The backplane. */
+class Interconnect
+{
+  public:
+    Interconnect(sim::EventQueue &eq, const sim::MachineParams &params)
+        : eq_(eq), params_(params)
+    {}
+
+    /** Register a node's NI. */
+    void
+    attach(NodeId node, NetworkInterface *ni)
+    {
+        SHRIMP_ASSERT(ni, "null NI");
+        SHRIMP_ASSERT(nis_.count(node) == 0, "node already attached");
+        nis_[node] = ni;
+    }
+
+    /** The NI of a node (checked). */
+    NetworkInterface *
+    ni(NodeId node) const
+    {
+        auto it = nis_.find(node);
+        SHRIMP_ASSERT(it != nis_.end(), "no NI for node ", node);
+        return it->second;
+    }
+
+    bool hasNode(NodeId node) const { return nis_.count(node) != 0; }
+
+    /**
+     * Occupy node @p src's injection link for @p bytes; returns the
+     * tick at which the last byte has been injected.
+     */
+    Tick
+    acquireLink(NodeId src, std::uint64_t bytes)
+    {
+        Tick &free_at = linkFreeAt_[src];
+        Tick start = std::max(eq_.now(), free_at);
+        free_at = start + params_.linkTransfer(bytes);
+        bytes_ += double(bytes);
+        return free_at;
+    }
+
+    /** Routing latency from injection to ejection. */
+    Tick hopLatency() const { return params_.linkLatency(); }
+
+    std::uint64_t bytesRouted() const
+    {
+        return std::uint64_t(bytes_.value());
+    }
+
+  private:
+    sim::EventQueue &eq_;
+    const sim::MachineParams &params_;
+    std::map<NodeId, NetworkInterface *> nis_;
+    std::map<NodeId, Tick> linkFreeAt_;
+    stats::Scalar bytes_;
+};
+
+} // namespace shrimp::net
+
+#endif // SHRIMP_SHRIMP_INTERCONNECT_HH

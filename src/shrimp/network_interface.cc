@@ -1,0 +1,467 @@
+#include "shrimp/network_interface.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/trace.hh"
+
+namespace shrimp::net
+{
+
+NetworkInterface::NetworkInterface(sim::EventQueue &eq,
+                                   const sim::MachineParams &params,
+                                   NodeId node,
+                                   mem::PhysicalMemory &memory,
+                                   bus::IoBus &io_bus, Interconnect &net,
+                                   std::uint32_t page_bytes)
+    : eq_(eq), params_(params), node_(node), memory_(memory),
+      ioBus_(io_bus), net_(net), pageBytes_(page_bytes)
+{
+    net_.attach(node, this);
+}
+
+// --------------------------------------------------------------------
+// UdmaDevice interface (the transmit side)
+// --------------------------------------------------------------------
+
+std::uint8_t
+NetworkInterface::validateTransfer(bool to_device, Addr dev_offset,
+                                   std::uint32_t nbytes)
+{
+    using namespace dma;
+    // Deliberate update is memory -> network only; the receive path
+    // has its own DMA logic (so invariant I3 is unnecessary here, as
+    // the paper notes in Section 8).
+    if (!to_device)
+        return device_error::direction;
+    // "...outgoing message data aligned on 4-byte boundaries..."
+    if (dev_offset % 4 != 0 || nbytes % 4 != 0)
+        return device_error::alignment;
+    std::size_t idx = (dev_offset / pageBytes_) & (Nipt::numEntries - 1);
+    if (!nipt_.get(idx).valid)
+        return device_error::range;
+    return device_error::none;
+}
+
+std::uint64_t
+NetworkInterface::deviceBoundary(Addr dev_offset) const
+{
+    // Each NIPT entry names one remote page; a transfer cannot cross
+    // into the next proxy page.
+    return pageBytes_ - dev_offset % pageBytes_;
+}
+
+Tick
+NetworkInterface::startLatency(bool to_device, Addr dev_offset) const
+{
+    (void)to_device;
+    (void)dev_offset;
+    // NIPT lookup and packet header construction.
+    return params_.niptLookup();
+}
+
+void
+NetworkInterface::transferStarting(bool to_device, Addr dev_offset,
+                                   std::uint32_t nbytes)
+{
+    SHRIMP_ASSERT(to_device, "NI receive transfers are not UDMA");
+    std::size_t idx = (dev_offset / pageBytes_) & (Nipt::numEntries - 1);
+    const NiptEntry &e = nipt_.get(idx);
+    SHRIMP_ASSERT(e.valid, "transfer started against invalid NIPT entry");
+
+    TxMessage msg;
+    msg.dstNode = e.dstNode;
+    msg.dstBase = e.dstPage * pageBytes_ + dev_offset % pageBytes_;
+    msg.total = nbytes;
+    msg.startTick = eq_.now();
+    msg.data.reserve(nbytes);
+    txq_.push_back(std::move(msg));
+    SHRIMP_ASSERT(!engineMsg_, "engine already has an open message");
+    engineMsg_ = &txq_.back();
+    ++sent_;
+    trace::log(eq_.now(), trace::Category::Ni, "node ", node_,
+               " deliberate update: ", nbytes, " B -> node ",
+               e.dstNode, " paddr ", engineMsg_->dstBase);
+}
+
+void
+NetworkInterface::transferFinished(bool to_device, Addr dev_offset,
+                                   std::uint32_t nbytes)
+{
+    (void)to_device;
+    (void)dev_offset;
+    (void)nbytes;
+    if (engineMsg_ && engineMsg_->pushed < engineMsg_->total) {
+        // Aborted transfer: truncate the open message so the pump can
+        // retire what was already pushed instead of waiting forever.
+        engineMsg_->total = engineMsg_->pushed;
+        pump();
+    }
+    engineMsg_ = nullptr;
+}
+
+std::uint32_t
+NetworkInterface::txFifoFree() const
+{
+    // The automatic-update snooper may transiently overshoot the
+    // FIFO (its small staging queue backpressures the memory bus on
+    // the real board); clamp so the engine sees zero capacity then.
+    return params_.niFifoBytes > txFifoBytes_
+               ? params_.niFifoBytes - txFifoBytes_
+               : 0;
+}
+
+// --------------------------------------------------------------------
+// Automatic update (Section 9): snooped stores propagate directly
+// --------------------------------------------------------------------
+
+void
+NetworkInterface::mapAutoUpdate(Addr local_page_base, NodeId dst_node,
+                                std::uint64_t dst_page)
+{
+    SHRIMP_ASSERT(local_page_base % pageBytes_ == 0,
+                  "binding must be page-aligned");
+    autoTable_[local_page_base] = AutoUpdateEntry{dst_node, dst_page};
+}
+
+void
+NetworkInterface::unmapAutoUpdate(Addr local_page_base)
+{
+    autoTable_.erase(local_page_base);
+}
+
+bool
+NetworkInterface::autoUpdateBound(Addr local_page_base) const
+{
+    return autoTable_.count(local_page_base) != 0;
+}
+
+bool
+NetworkInterface::snoopStore(Addr paddr, std::uint64_t value)
+{
+    Addr page = paddr - paddr % pageBytes_;
+    auto it = autoTable_.find(page);
+    if (it == autoTable_.end())
+        return false;
+
+    Addr dst_addr =
+        it->second.dstPage * pageBytes_ + paddr % pageBytes_;
+    std::uint8_t bytes[8];
+    std::memcpy(bytes, &value, 8);
+
+    // Write combining: append to the open packet while successive
+    // stores stay contiguous (and the packet stays small).
+    if (pendingAuto_.valid
+            && pendingAuto_.dstNode == it->second.dstNode
+            && pendingAuto_.dstBase + pendingAuto_.data.size()
+                   == dst_addr
+            && pendingAuto_.data.size() < 504) {
+        pendingAuto_.data.insert(pendingAuto_.data.end(), bytes,
+                                 bytes + 8);
+        ++autoCombined_;
+        return true;
+    }
+
+    // Non-contiguous (or no open packet): flush and open a new one.
+    flushAutoUpdates();
+    pendingAuto_.valid = true;
+    pendingAuto_.dstNode = it->second.dstNode;
+    pendingAuto_.dstBase = dst_addr;
+    pendingAuto_.data.assign(bytes, bytes + 8);
+    autoFlushEvent_ = eq_.scheduleIn(
+        params_.autoCombineWindow(), "ni.autoflush",
+        [this] {
+            autoFlushEvent_ = sim::EventHandle();
+            flushAutoUpdates();
+        },
+        sim::EventPriority::DeviceCompletion);
+    return true;
+}
+
+void
+NetworkInterface::flushAutoUpdates()
+{
+    if (!pendingAuto_.valid)
+        return;
+    if (autoFlushEvent_.valid()) {
+        eq_.deschedule(autoFlushEvent_);
+        autoFlushEvent_ = sim::EventHandle();
+    }
+    TxMessage msg;
+    msg.dstNode = pendingAuto_.dstNode;
+    msg.dstBase = pendingAuto_.dstBase;
+    msg.total = std::uint32_t(pendingAuto_.data.size());
+    msg.pushed = msg.total;
+    msg.startTick = eq_.now();
+    msg.data = std::move(pendingAuto_.data);
+    txFifoBytes_ += msg.total;
+    txq_.push_back(std::move(msg));
+    pendingAuto_ = PendingAuto();
+    ++autoSent_;
+    ++sent_;
+    trace::log(eq_.now(), trace::Category::Ni, "node ", node_,
+               " automatic update packet flushed");
+    pump();
+}
+
+std::uint32_t
+NetworkInterface::pushCapacity(Addr dev_offset, std::uint32_t want)
+{
+    (void)dev_offset;
+    return std::min(want, txFifoFree());
+}
+
+void
+NetworkInterface::devicePush(Addr dev_offset, const std::uint8_t *data,
+                             std::uint32_t len)
+{
+    (void)dev_offset;
+    // Push into the engine's own message: automatic-update packets
+    // may have been appended to the queue in the meantime.
+    SHRIMP_ASSERT(engineMsg_, "push with no open message");
+    TxMessage &msg = *engineMsg_;
+    SHRIMP_ASSERT(msg.pushed + len <= msg.total, "push overflow");
+    SHRIMP_ASSERT(len <= txFifoFree(), "outgoing FIFO overflow");
+    msg.data.insert(msg.data.end(), data, data + len);
+    msg.pushed += len;
+    txFifoBytes_ += len;
+    pump();
+}
+
+std::uint32_t
+NetworkInterface::pullAvailable(Addr dev_offset, std::uint32_t want)
+{
+    (void)dev_offset;
+    (void)want;
+    panic("SHRIMP NI is not a UDMA source device");
+}
+
+void
+NetworkInterface::devicePull(Addr dev_offset, std::uint8_t *out,
+                             std::uint32_t len)
+{
+    (void)dev_offset;
+    (void)out;
+    (void)len;
+    panic("SHRIMP NI is not a UDMA source device");
+}
+
+void
+NetworkInterface::setEngineWakeup(std::function<void()> wakeup)
+{
+    engineWakeup_ = std::move(wakeup);
+}
+
+std::uint64_t
+NetworkInterface::proxyExtentBytes() const
+{
+    return std::uint64_t(Nipt::numEntries) * pageBytes_;
+}
+
+bool
+NetworkInterface::allowProxyMap(std::uint64_t first_page,
+                                std::uint64_t n_pages,
+                                bool writable) const
+{
+    // Outgoing proxy pages are write-only in spirit; we require the
+    // mapping to be writable (a read-only send page is useless) and
+    // every named NIPT entry to be programmed.
+    (void)writable;
+    for (std::uint64_t i = 0; i < n_pages; ++i) {
+        if (!nipt_.get(std::size_t(first_page + i)).valid)
+            return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Packet pump: outgoing FIFO -> backplane (cut-through)
+// --------------------------------------------------------------------
+
+void
+NetworkInterface::pump()
+{
+    if (pumpBusy_)
+        return;
+    // Retire fully-launched messages from the front.
+    while (!txq_.empty()
+           && txq_.front().launched == txq_.front().total) {
+        SHRIMP_ASSERT(engineMsg_ != &txq_.front(),
+                      "retiring the engine's open message");
+        txq_.pop_front();
+    }
+    if (txq_.empty())
+        return;
+    // Launch from the oldest message that has bytes ready. A message
+    // the engine has not started filling yet (pushed == 0) may be
+    // overtaken by ready packets behind it (e.g. automatic updates),
+    // which keeps the FIFO draining while the engine winds up; chunks
+    // *within* a message always go in order.
+    TxMessage *msgp = nullptr;
+    for (auto &m : txq_) {
+        if (m.pushed > m.launched) {
+            msgp = &m;
+            break;
+        }
+        if (m.pushed > 0 && m.launched < m.total)
+            return; // partially sent, awaiting more engine pushes
+    }
+    if (!msgp)
+        return; // nothing ready yet
+    TxMessage &msg = *msgp;
+    std::uint32_t avail = msg.pushed - msg.launched;
+    std::uint32_t q = std::min(avail, pumpChunkBytes);
+
+    NetworkInterface *peer = net_.ni(msg.dstNode);
+    if (peer->rxFifoFree() < q) {
+        // Credit-based backpressure: retry when the receiver drains.
+        peer->addCreditWaiter([this] { pump(); });
+        return;
+    }
+    peer->rxReserve(q);
+
+    bool msg_start = msg.launched == 0;
+    bool msg_end = msg.launched + q == msg.total;
+    std::uint64_t wire_bytes =
+        q + (msg_start ? params_.niHeaderBytes : 0);
+    Tick injected = net_.acquireLink(node_, wire_bytes);
+    Tick arrival = injected + net_.hopLatency();
+
+    std::vector<std::uint8_t> payload(
+        msg.data.begin() + msg.launched,
+        msg.data.begin() + msg.launched + q);
+    Addr dst_addr = msg.dstBase + msg.launched;
+    NodeId src = node_;
+    Tick sender_start = msg.startTick;
+
+    pumpBusy_ = true;
+    eq_.schedule(
+        arrival, "ni.deliver",
+        [peer, src, dst_addr, payload = std::move(payload), msg_start,
+         msg_end, sender_start]() mutable {
+            peer->rxDeliver(src, dst_addr, std::move(payload),
+                            msg_start, msg_end, sender_start);
+        },
+        sim::EventPriority::DeviceCompletion);
+
+    eq_.schedule(
+        injected, "ni.pump",
+        [this, q, msgp] {
+            pumpBusy_ = false;
+            SHRIMP_ASSERT(txFifoBytes_ >= q, "tx FIFO underflow");
+            txFifoBytes_ -= q;
+            // Deque references stay valid across push/pop of other
+            // elements, and this message cannot be retired while it
+            // has unlaunched bytes.
+            msgp->launched += q;
+            if (engineWakeup_)
+                engineWakeup_(); // outgoing FIFO space freed
+            pump();
+        },
+        sim::EventPriority::DeviceCompletion);
+}
+
+// --------------------------------------------------------------------
+// Receive side: backplane -> incoming FIFO -> EISA DMA -> memory
+// --------------------------------------------------------------------
+
+std::uint32_t
+NetworkInterface::rxFifoFree() const
+{
+    return params_.niFifoBytes - rxFifoBytes_ - rxReserved_;
+}
+
+void
+NetworkInterface::rxReserve(std::uint32_t bytes)
+{
+    SHRIMP_ASSERT(bytes <= rxFifoFree(), "rx overcommit");
+    rxReserved_ += bytes;
+}
+
+void
+NetworkInterface::addCreditWaiter(std::function<void()> fn)
+{
+    creditWaiters_.push_back(std::move(fn));
+}
+
+void
+NetworkInterface::grantCredits()
+{
+    if (creditWaiters_.empty())
+        return;
+    std::vector<std::function<void()>> waiters;
+    waiters.swap(creditWaiters_);
+    for (auto &fn : waiters)
+        fn();
+}
+
+void
+NetworkInterface::rxDeliver(NodeId src, Addr dst_addr,
+                            std::vector<std::uint8_t> data,
+                            bool msg_start, bool msg_end,
+                            Tick sender_start)
+{
+    auto len = std::uint32_t(data.size());
+    SHRIMP_ASSERT(rxReserved_ >= len, "unreserved rx delivery");
+    rxReserved_ -= len;
+    rxFifoBytes_ += len;
+    rxChunks_.push_back(RxChunk{src, dst_addr, std::move(data),
+                                msg_start, msg_end, sender_start});
+    rxPump();
+}
+
+void
+NetworkInterface::rxPump()
+{
+    if (rxDmaBusy_ || rxChunks_.empty())
+        return;
+    const RxChunk &c = rxChunks_.front();
+    auto len = std::uint32_t(c.data.size());
+
+    // Receive-side EISA DMA logic: start latency on each new packet,
+    // then burst the chunk across the receiving node's I/O bus.
+    Tick earliest = eq_.now() + (c.msgStart ? params_.rxDmaStart() : 0);
+    Tick done = ioBus_.burstTransferAt(earliest, len);
+
+    rxDmaBusy_ = true;
+    eq_.schedule(
+        done, "ni.rxdma",
+        [this, len] {
+            RxChunk chunk = std::move(rxChunks_.front());
+            rxChunks_.pop_front();
+            memory_.writeBytes(chunk.dstAddr, chunk.data.data(), len);
+            rxBytes_ += double(len);
+            SHRIMP_ASSERT(rxFifoBytes_ >= len, "rx FIFO underflow");
+            rxFifoBytes_ -= len;
+            rxDmaBusy_ = false;
+            grantCredits();
+            if (chunk.msgEnd) {
+                // The completion flag/word becomes visible a little
+                // after the data (write buffers, ordering).
+                Tick when = eq_.now() + params_.rxCompletion();
+                Delivery d;
+                d.srcNode = chunk.src;
+                d.dstPhysAddr = chunk.dstAddr + len;
+                d.bytes = 0; // filled by callback users if needed
+                d.senderStartTick = chunk.senderStart;
+                d.deliveredTick = when;
+                eq_.schedule(
+                    when, "ni.delivered",
+                    [this, d] {
+                        ++delivered_;
+                        lastDelivery_ = eq_.now();
+                        trace::log(eq_.now(), trace::Category::Ni,
+                                   "node ", node_,
+                                   " delivery complete from node ",
+                                   d.srcNode);
+                        if (onDelivery_)
+                            onDelivery_(d);
+                    },
+                    sim::EventPriority::DeviceCompletion);
+            }
+            rxPump();
+        },
+        sim::EventPriority::DeviceCompletion);
+}
+
+} // namespace shrimp::net

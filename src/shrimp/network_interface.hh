@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The SHRIMP network interface board (paper Section 8, Figure 6).
+ *
+ * Send side ("deliberate update"): the board is a UDMA device. The
+ * UDMA engine streams outgoing message data from memory into the
+ * outgoing FIFO; the board looks up the destination (remote node +
+ * remote physical page) in the NIPT from the device proxy address,
+ * builds a packet header, and launches the packet onto the backplane
+ * cut-through as bytes become available.
+ *
+ * Receive side: arriving packet data is deposited directly into
+ * physical memory by the receive-side EISA DMA logic, which shares the
+ * receiving node's I/O bus. Delivery of the last byte of a message is
+ * observable through an optional callback (benchmarks) and by polling
+ * memory (user programs), just like the real system.
+ *
+ * Flow control is credit-based: a sender launches a chunk only after
+ * reserving space in the receiver's incoming FIFO, so a slow receiver
+ * backpressures the sender's outgoing FIFO and, through it, the UDMA
+ * engine.
+ */
+
+#ifndef SHRIMP_SHRIMP_NETWORK_INTERFACE_HH
+#define SHRIMP_SHRIMP_NETWORK_INTERFACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "bus/io_bus.hh"
+#include "dma/status.hh"
+#include "dma/udma_device.hh"
+#include "mem/physical_memory.hh"
+#include "shrimp/interconnect.hh"
+#include "shrimp/nipt.hh"
+#include "sim/event_queue.hh"
+#include "sim/params.hh"
+#include "sim/stats.hh"
+
+namespace shrimp::net
+{
+
+/** Delivery notification (used by benchmarks and tests). */
+struct Delivery
+{
+    NodeId srcNode = 0;
+    Addr dstPhysAddr = 0;
+    std::uint32_t bytes = 0;
+    /** Tick at which the sender's engine began the transfer. */
+    Tick senderStartTick = 0;
+    /** Tick at which the last byte became visible in memory. */
+    Tick deliveredTick = 0;
+};
+
+/** One node's SHRIMP NI. */
+class NetworkInterface : public dma::UdmaDevice
+{
+  public:
+    NetworkInterface(sim::EventQueue &eq,
+                     const sim::MachineParams &params, NodeId node,
+                     mem::PhysicalMemory &memory, bus::IoBus &io_bus,
+                     Interconnect &net, std::uint32_t page_bytes);
+
+    NodeId node() const { return node_; }
+    Nipt &nipt() { return nipt_; }
+    const Nipt &nipt() const { return nipt_; }
+
+    // --------------------------------- automatic update (Section 9)
+    /**
+     * Bind a local physical page to a remote page for automatic
+     * update: the board snoops ordinary stores to the page and
+     * propagates them to the remote node ("the automatic update
+     * transfer strategy described in [5], which still relies upon
+     * fixed mappings between source and destination pages").
+     */
+    void mapAutoUpdate(Addr local_page_base, NodeId dst_node,
+                       std::uint64_t dst_page);
+
+    /** Remove an automatic-update binding. */
+    void unmapAutoUpdate(Addr local_page_base);
+
+    /** True if the page has an automatic-update binding. */
+    bool autoUpdateBound(Addr local_page_base) const;
+
+    /**
+     * Bus snooper: called by the node for every memory store. If the
+     * written page is bound, the (address, value) update enters the
+     * outgoing FIFO — combined with a contiguous predecessor when
+     * possible, as the SHRIMP board's update-combining hardware does.
+     * @return true if the store was captured for propagation.
+     */
+    bool snoopStore(Addr paddr, std::uint64_t value);
+
+    /** Flush the write-combining buffer immediately (also fired by
+     *  the combining-window timer). */
+    void flushAutoUpdates();
+
+    std::uint64_t autoUpdatesSent() const
+    {
+        return std::uint64_t(autoSent_.value());
+    }
+    std::uint64_t autoUpdatesCombined() const
+    {
+        return std::uint64_t(autoCombined_.value());
+    }
+
+    /** Benchmarks: called at each complete message delivery. */
+    void
+    setDeliveryCallback(std::function<void(const Delivery &)> cb)
+    {
+        onDelivery_ = std::move(cb);
+    }
+
+    std::uint64_t messagesSent() const
+    {
+        return std::uint64_t(sent_.value());
+    }
+    std::uint64_t messagesDelivered() const
+    {
+        return std::uint64_t(delivered_.value());
+    }
+    std::uint64_t bytesDelivered() const
+    {
+        return std::uint64_t(rxBytes_.value());
+    }
+    Tick lastDeliveryTick() const { return lastDelivery_; }
+
+    // ------------------------------------------- UdmaDevice interface
+    std::string deviceName() const override { return "shrimp-ni"; }
+
+    std::uint8_t validateTransfer(bool to_device, Addr dev_offset,
+                                  std::uint32_t nbytes) override;
+    std::uint64_t deviceBoundary(Addr dev_offset) const override;
+    std::uint32_t pushCapacity(Addr dev_offset,
+                               std::uint32_t want) override;
+    void devicePush(Addr dev_offset, const std::uint8_t *data,
+                    std::uint32_t len) override;
+    std::uint32_t pullAvailable(Addr dev_offset,
+                                std::uint32_t want) override;
+    void devicePull(Addr dev_offset, std::uint8_t *out,
+                    std::uint32_t len) override;
+    void setEngineWakeup(std::function<void()> wakeup) override;
+    void transferStarting(bool to_device, Addr dev_offset,
+                          std::uint32_t nbytes) override;
+    void transferFinished(bool to_device, Addr dev_offset,
+                          std::uint32_t nbytes) override;
+    Tick startLatency(bool to_device, Addr dev_offset) const override;
+    std::uint64_t proxyExtentBytes() const override;
+    bool allowProxyMap(std::uint64_t first_page, std::uint64_t n_pages,
+                       bool writable) const override;
+
+    // ------------------------------------ receive side (peer-facing)
+    /** Free space in the incoming FIFO not yet reserved by senders. */
+    std::uint32_t rxFifoFree() const;
+
+    /** Reserve incoming FIFO space before launching a chunk. */
+    void rxReserve(std::uint32_t bytes);
+
+    /** A chunk arrives from the backplane. */
+    void rxDeliver(NodeId src, Addr dst_addr,
+                   std::vector<std::uint8_t> data, bool msg_start,
+                   bool msg_end, Tick sender_start);
+
+    /** Register to be poked when incoming FIFO space frees up. */
+    void addCreditWaiter(std::function<void()> fn);
+
+  private:
+    struct TxMessage
+    {
+        NodeId dstNode = 0;
+        Addr dstBase = 0;
+        std::uint32_t total = 0;
+        std::uint32_t pushed = 0;
+        std::uint32_t launched = 0;
+        Tick startTick = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    struct RxChunk
+    {
+        NodeId src = 0;
+        Addr dstAddr = 0;
+        std::vector<std::uint8_t> data;
+        bool msgStart = false;
+        bool msgEnd = false;
+        Tick senderStart = 0;
+    };
+
+    void pump();
+    void rxPump();
+    void grantCredits();
+
+    std::uint32_t txFifoFree() const;
+
+    sim::EventQueue &eq_;
+    const sim::MachineParams &params_;
+    NodeId node_;
+    mem::PhysicalMemory &memory_;
+    bus::IoBus &ioBus_;
+    Interconnect &net_;
+    std::uint32_t pageBytes_;
+
+    Nipt nipt_;
+    std::function<void()> engineWakeup_;
+    std::function<void(const Delivery &)> onDelivery_;
+
+    struct AutoUpdateEntry
+    {
+        NodeId dstNode = 0;
+        std::uint64_t dstPage = 0;
+    };
+    std::map<Addr, AutoUpdateEntry> autoTable_;
+
+    /** The write-combining buffer: one open update packet. */
+    struct PendingAuto
+    {
+        bool valid = false;
+        NodeId dstNode = 0;
+        Addr dstBase = 0;
+        std::vector<std::uint8_t> data;
+    };
+    PendingAuto pendingAuto_;
+    sim::EventHandle autoFlushEvent_;
+    stats::Scalar autoSent_;
+    stats::Scalar autoCombined_;
+
+    // Transmit state.
+    std::deque<TxMessage> txq_;
+    /** The message the UDMA engine is currently filling. References
+     *  into a deque stay valid across push/pop of other elements. */
+    TxMessage *engineMsg_ = nullptr;
+    std::uint32_t txFifoBytes_ = 0;
+    bool pumpBusy_ = false;
+    static constexpr std::uint32_t pumpChunkBytes = 256;
+
+    // Receive state.
+    std::deque<RxChunk> rxChunks_;
+    std::uint32_t rxFifoBytes_ = 0;
+    std::uint32_t rxReserved_ = 0;
+    bool rxDmaBusy_ = false;
+    std::vector<std::function<void()>> creditWaiters_;
+
+    stats::Scalar sent_;
+    stats::Scalar delivered_;
+    stats::Scalar rxBytes_;
+    Tick lastDelivery_ = 0;
+};
+
+} // namespace shrimp::net
+
+#endif // SHRIMP_SHRIMP_NETWORK_INTERFACE_HH

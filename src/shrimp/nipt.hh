@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The Network Interface Page Table (paper Section 8).
+ *
+ * "All potential message destinations are stored in the Network
+ * Interface Page Table (NIPT), each entry of which specifies a remote
+ * node and a physical memory page on that node. ... Since the NIPT is
+ * indexed with 15 bits, it can hold 32K different destination pages."
+ *
+ * A device proxy address on the SHRIMP NI is (proxy page number,
+ * offset); the low 15 bits of the page number index this table.
+ */
+
+#ifndef SHRIMP_SHRIMP_NIPT_HH
+#define SHRIMP_SHRIMP_NIPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace shrimp::net
+{
+
+/** One NIPT entry: a remote destination page. */
+struct NiptEntry
+{
+    bool valid = false;
+    NodeId dstNode = 0;
+    /** Physical page number on the destination node. */
+    std::uint64_t dstPage = 0;
+};
+
+/** The 32K-entry table on the NI board. */
+class Nipt
+{
+  public:
+    static constexpr std::size_t indexBits = 15;
+    static constexpr std::size_t numEntries = std::size_t(1) << indexBits;
+
+    Nipt() : table_(numEntries) {}
+
+    const NiptEntry &
+    get(std::size_t idx) const
+    {
+        return table_.at(idx & (numEntries - 1));
+    }
+
+    /** Kernel control plane: program an entry. */
+    void
+    set(std::size_t idx, NodeId node, std::uint64_t dst_page)
+    {
+        auto &e = table_.at(idx);
+        e.valid = true;
+        e.dstNode = node;
+        e.dstPage = dst_page;
+    }
+
+    /** Kernel control plane: revoke an entry. */
+    void
+    clear(std::size_t idx)
+    {
+        table_.at(idx) = NiptEntry();
+    }
+
+    /** Allocate the lowest free entry; returns numEntries if full. */
+    std::size_t
+    allocate()
+    {
+        for (std::size_t i = nextHint_; i < numEntries; ++i) {
+            if (!table_[i].valid) {
+                nextHint_ = i + 1;
+                return i;
+            }
+        }
+        for (std::size_t i = 0; i < nextHint_; ++i) {
+            if (!table_[i].valid) {
+                nextHint_ = i + 1;
+                return i;
+            }
+        }
+        return numEntries;
+    }
+
+    /**
+     * Allocate @p n consecutive free entries (sender proxy pages for a
+     * contiguous remote buffer must be contiguous in the window).
+     * Returns the first index, or numEntries if no run exists.
+     */
+    std::size_t
+    allocateRun(std::size_t n)
+    {
+        if (n == 0 || n > numEntries)
+            return numEntries;
+        std::size_t run = 0;
+        for (std::size_t i = 0; i < numEntries; ++i) {
+            run = table_[i].valid ? 0 : run + 1;
+            if (run == n)
+                return i + 1 - n;
+        }
+        return numEntries;
+    }
+
+    std::size_t
+    validEntries() const
+    {
+        std::size_t n = 0;
+        for (const auto &e : table_)
+            n += e.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::vector<NiptEntry> table_;
+    std::size_t nextHint_ = 0;
+};
+
+} // namespace shrimp::net
+
+#endif // SHRIMP_SHRIMP_NIPT_HH

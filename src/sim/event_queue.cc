@@ -1,0 +1,127 @@
+#include "sim/event_queue.hh"
+
+namespace shrimp::sim
+{
+
+EventQueue::~EventQueue()
+{
+    while (!heap_.empty()) {
+        delete heap_.top();
+        heap_.pop();
+    }
+}
+
+EventHandle
+EventQueue::schedule(Tick when, std::string name, std::function<void()> fn,
+                     EventPriority prio)
+{
+    if (when < curTick_) {
+        panic("event '", name, "' scheduled in the past: when=", when,
+              " now=", curTick_);
+    }
+    auto *rec = new Record{when, static_cast<int>(prio), nextSeq_,
+                           nextSeq_, std::move(name), std::move(fn), false};
+    ++nextSeq_;
+    heap_.push(rec);
+    pendingById_.emplace(rec->id, rec);
+    ++liveEvents_;
+    return EventHandle(rec->id);
+}
+
+bool
+EventQueue::deschedule(EventHandle handle)
+{
+    if (!handle.valid())
+        return false;
+    auto it = pendingById_.find(handle.id_);
+    if (it == pendingById_.end())
+        return false;
+    it->second->cancelled = true;
+    pendingById_.erase(it);
+    --liveEvents_;
+    return true;
+}
+
+EventQueue::Record *
+EventQueue::popNext()
+{
+    while (!heap_.empty()) {
+        Record *rec = heap_.top();
+        heap_.pop();
+        if (rec->cancelled) {
+            delete rec;
+            continue;
+        }
+        return rec;
+    }
+    return nullptr;
+}
+
+bool
+EventQueue::step()
+{
+    Record *rec = popNext();
+    if (!rec)
+        return false;
+    SHRIMP_ASSERT(rec->when >= curTick_, "time went backwards");
+    curTick_ = rec->when;
+    pendingById_.erase(rec->id);
+    --liveEvents_;
+    ++executed_;
+    // Move the callback out so the record can be freed even if the
+    // callback schedules further events.
+    auto fn = std::move(rec->fn);
+    delete rec;
+    fn();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (liveEvents_ > 0) {
+        // Peek: don't execute events beyond the limit.
+        Record *rec = popNext();
+        if (!rec)
+            break;
+        if (rec->when > limit) {
+            // Put it back; it stays pending.
+            heap_.push(rec);
+            curTick_ = limit;
+            return curTick_;
+        }
+        curTick_ = rec->when;
+        pendingById_.erase(rec->id);
+        --liveEvents_;
+        ++executed_;
+        auto fn = std::move(rec->fn);
+        delete rec;
+        fn();
+    }
+    return curTick_;
+}
+
+Tick
+EventQueue::runUntil(const std::function<bool()> &pred, Tick limit)
+{
+    while (liveEvents_ > 0 && !pred()) {
+        Record *rec = popNext();
+        if (!rec)
+            break;
+        if (rec->when > limit) {
+            heap_.push(rec);
+            curTick_ = limit;
+            return curTick_;
+        }
+        curTick_ = rec->when;
+        pendingById_.erase(rec->id);
+        --liveEvents_;
+        ++executed_;
+        auto fn = std::move(rec->fn);
+        delete rec;
+        fn();
+    }
+    return curTick_;
+}
+
+} // namespace shrimp::sim

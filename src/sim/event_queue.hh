@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The discrete-event simulation core: a single global-per-System event
+ * queue ordered by (tick, priority, insertion sequence).
+ *
+ * All timing in the simulator is expressed by scheduling callbacks on
+ * this queue. Components never busy-wait; they schedule their next
+ * action and return.
+ */
+
+#ifndef SHRIMP_SIM_EVENT_QUEUE_HH
+#define SHRIMP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace shrimp::sim
+{
+
+/**
+ * Event priorities; lower numeric value runs first at the same tick.
+ * Device completions run before CPU resumption so that software
+ * observes hardware state changes that logically precede it.
+ */
+enum class EventPriority : int
+{
+    DeviceCompletion = 0,
+    Default = 50,
+    CpuResume = 60,
+    Stats = 90,
+};
+
+/**
+ * A handle to a scheduled event, usable to deschedule it. Handles are
+ * cheap value types; descheduling an already-fired or already
+ * descheduled event is a checked error.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    bool valid() const { return id_ != 0; }
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+};
+
+/**
+ * The event queue. Holds the current simulated time and a priority
+ * queue of pending callbacks.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param name Debug label for the event.
+     * @param fn Callback invoked when the event fires.
+     * @param prio Intra-tick ordering class.
+     * @return Handle that can cancel the event before it fires.
+     */
+    EventHandle schedule(Tick when, std::string name,
+                         std::function<void()> fn,
+                         EventPriority prio = EventPriority::Default);
+
+    /** Schedule a callback @p delay ticks in the future. */
+    EventHandle
+    scheduleIn(Tick delay, std::string name, std::function<void()> fn,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(curTick_ + delay, std::move(name), std::move(fn),
+                        prio);
+    }
+
+    /**
+     * Cancel a pending event. Returns true if the event was pending
+     * and is now cancelled; false if it had already fired or was
+     * already cancelled.
+     */
+    bool deschedule(EventHandle handle);
+
+    /** True if no events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return liveEvents_; }
+
+    /**
+     * Run until the queue drains or @p limit ticks is reached.
+     * @return The tick at which execution stopped.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /**
+     * Run until @p pred returns true (checked after each event) or the
+     * queue drains or the limit is hit.
+     */
+    Tick runUntil(const std::function<bool()> &pred, Tick limit = maxTick);
+
+    /** Execute exactly one event, if any. Returns false if empty. */
+    bool step();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Record
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        std::uint64_t id;
+        std::string name;
+        std::function<void()> fn;
+        bool cancelled = false;
+    };
+
+    struct Compare
+    {
+        bool
+        operator()(const Record *a, const Record *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->prio != b->prio)
+                return a->prio > b->prio;
+            return a->seq > b->seq;
+        }
+    };
+
+    Record *popNext();
+
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t executed_ = 0;
+    std::size_t liveEvents_ = 0;
+    std::priority_queue<Record *, std::vector<Record *>, Compare> heap_;
+    // id -> live record, for deschedule.
+    std::unordered_map<std::uint64_t, Record *> pendingById_;
+};
+
+} // namespace shrimp::sim
+
+#endif // SHRIMP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,39 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace shrimp
+{
+
+namespace
+{
+bool verboseFlag = false;
+}
+
+void
+setLogVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+logVerbose()
+{
+    return verboseFlag;
+}
+
+namespace logging_detail
+{
+
+void
+emit(const char *level, const std::string &msg)
+{
+    const bool always =
+        level[0] == 'p' || level[0] == 'f'; // panic / fatal
+    if (!always && !verboseFlag)
+        return;
+    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+} // namespace logging_detail
+} // namespace shrimp

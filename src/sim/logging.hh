@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention:
+ *
+ *  - panic():  something happened that should never happen regardless
+ *              of what the user does, i.e. a simulator bug. Throws
+ *              PanicError (so tests can assert on it) after printing.
+ *  - fatal():  the simulation cannot continue due to a user error
+ *              (bad configuration, invalid arguments). Throws
+ *              FatalError.
+ *  - warn():   possibly-incorrect behaviour worth flagging.
+ *  - inform(): normal operating status.
+ */
+
+#ifndef SHRIMP_SIM_LOGGING_HH
+#define SHRIMP_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace shrimp
+{
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user asked for something unsupportable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace logging_detail
+{
+
+void emit(const char *level, const std::string &msg);
+
+inline void
+format(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    format(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatString(const Args &...args)
+{
+    std::ostringstream os;
+    format(os, args...);
+    return os.str();
+}
+
+} // namespace logging_detail
+
+/** Report a simulator bug and abort the simulation via exception. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    auto msg = logging_detail::formatString(args...);
+    logging_detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user error via exception. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    auto msg = logging_detail::formatString(args...);
+    logging_detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report suspicious but survivable behaviour. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logging_detail::emit("warn", logging_detail::formatString(args...));
+}
+
+/** Report normal status. Suppressed unless verbose logging is on. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logging_detail::emit("info", logging_detail::formatString(args...));
+}
+
+/** Enable/disable warn()/inform() output (panic/fatal always print). */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+/** panic() unless the condition holds. */
+#define SHRIMP_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::shrimp::panic("assertion '", #cond, "' failed: ",           \
+                            ##__VA_ARGS__);                               \
+        }                                                                 \
+    } while (0)
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_LOGGING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random numbers for workload generation.
+ *
+ * SplitMix64 core: tiny, fast, and identical across platforms so
+ * experiments are exactly reproducible from a seed.
+ */
+
+#ifndef SHRIMP_SIM_RANDOM_HH
+#define SHRIMP_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace shrimp::sim
+{
+
+/** A deterministic 64-bit PRNG (SplitMix64). */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x5EED5EEDULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        SHRIMP_ASSERT(bound > 0, "Random::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        SHRIMP_ASSERT(lo <= hi, "Random::between bad range");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    unit()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return unit() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace shrimp::sim
+
+#endif // SHRIMP_SIM_RANDOM_HH

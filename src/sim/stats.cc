@@ -1,0 +1,27 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace shrimp::stats
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : scalars_) {
+        os << name_ << '.' << e.name << ' ' << e.stat->value();
+        if (!e.desc.empty())
+            os << "   # " << e.desc;
+        os << '\n';
+    }
+    for (const auto &e : averages_) {
+        os << name_ << '.' << e.name << "::mean " << e.stat->mean()
+           << "  ::count " << e.stat->count() << "  ::min "
+           << e.stat->min() << "  ::max " << e.stat->max();
+        if (!e.desc.empty())
+            os << "   # " << e.desc;
+        os << '\n';
+    }
+}
+
+} // namespace shrimp::stats

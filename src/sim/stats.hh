@@ -1,0 +1,177 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Components own named statistics (scalars, averages, histograms,
+ * distributions by key) registered in a StatGroup; a System can dump
+ * every group to a stream at the end of a run. Stats never affect
+ * simulated behaviour.
+ */
+
+#ifndef SHRIMP_SIM_STATS_HH
+#define SHRIMP_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace shrimp::stats
+{
+
+/** A monotonically accumulated scalar (count or sum). */
+class Scalar
+{
+  public:
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    void reset() { value_ = 0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Mean/min/max over observed samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with uniform bucket width. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0, 1, 1) {}
+
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), buckets_(std::max<std::size_t>(buckets, 1)),
+          counts_(buckets_ + 2, 0)
+    {}
+
+    void
+    sample(double v)
+    {
+        stats_.sample(v);
+        if (v < lo_) {
+            ++counts_.front();
+        } else if (v >= hi_) {
+            ++counts_.back();
+        } else {
+            auto idx = std::size_t((v - lo_) / (hi_ - lo_) * buckets_);
+            ++counts_[1 + std::min(idx, buckets_ - 1)];
+        }
+    }
+
+    void
+    reset()
+    {
+        stats_.reset();
+        std::fill(counts_.begin(), counts_.end(), 0);
+    }
+
+    const Average &summary() const { return stats_; }
+    std::uint64_t underflows() const { return counts_.front(); }
+    std::uint64_t overflows() const { return counts_.back(); }
+
+    std::uint64_t
+    bucket(std::size_t i) const
+    {
+        return counts_.at(i + 1);
+    }
+
+    std::size_t buckets() const { return buckets_; }
+    double bucketLo(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * double(i) / double(buckets_);
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::size_t buckets_;
+    std::vector<std::uint64_t> counts_;
+    Average stats_;
+};
+
+/**
+ * A named collection of statistics. Components hold one of these and
+ * register their stats in it; registration stores pointers, so stats
+ * must outlive the group (the normal case: both are members of the
+ * same component).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    void
+    addScalar(const std::string &name, const Scalar *s,
+              const std::string &desc = {})
+    {
+        scalars_.push_back({name, desc, s});
+    }
+
+    void
+    addAverage(const std::string &name, const Average *a,
+               const std::string &desc = {})
+    {
+        averages_.push_back({name, desc, a});
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Print all registered stats, one per line, gem5-dump style. */
+    void dump(std::ostream &os) const;
+
+  private:
+    template <typename T>
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        const T *stat;
+    };
+
+    std::string name_;
+    std::vector<Entry<Scalar>> scalars_;
+    std::vector<Entry<Average>> averages_;
+};
+
+} // namespace shrimp::stats
+
+#endif // SHRIMP_SIM_STATS_HH

@@ -1,0 +1,77 @@
+#include "sim/trace.hh"
+
+namespace shrimp::trace
+{
+
+namespace
+{
+unsigned enabledMask = 0;
+std::ostream *sinkPtr = nullptr;
+} // namespace
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Dma:
+        return "dma";
+      case Category::Vm:
+        return "vm";
+      case Category::Os:
+        return "os";
+      case Category::Ni:
+        return "ni";
+      case Category::Bus:
+        return "bus";
+      default:
+        return "?";
+    }
+}
+
+void
+enable(Category c)
+{
+    enabledMask |= 1u << unsigned(c);
+}
+
+void
+disable(Category c)
+{
+    enabledMask &= ~(1u << unsigned(c));
+}
+
+void
+disableAll()
+{
+    enabledMask = 0;
+}
+
+bool
+enabled(Category c)
+{
+    return sinkPtr && (enabledMask & (1u << unsigned(c)));
+}
+
+void
+setSink(std::ostream *os)
+{
+    sinkPtr = os;
+}
+
+std::ostream *
+sink()
+{
+    return sinkPtr;
+}
+
+namespace detail
+{
+
+void
+emitPrefix(std::ostream &os, Tick now, Category c)
+{
+    os << now << ": " << categoryName(c) << ": ";
+}
+
+} // namespace detail
+} // namespace shrimp::trace

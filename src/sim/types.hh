@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental simulator-wide types: simulated time, addresses, sizes.
+ */
+
+#ifndef SHRIMP_SIM_TYPES_HH
+#define SHRIMP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace shrimp
+{
+
+/**
+ * Simulated time in picoseconds. Picosecond resolution lets us express
+ * a 60 MHz CPU cycle (16667 ps), EISA bus cycles (120 ns) and
+ * interconnect flit times exactly without rounding drift.
+ */
+using Tick = std::uint64_t;
+
+/** The largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per common time units. */
+constexpr Tick tickPs = 1;
+constexpr Tick tickNs = 1000;
+constexpr Tick tickUs = 1000 * 1000;
+constexpr Tick tickMs = Tick(1000) * 1000 * 1000;
+constexpr Tick tickSec = Tick(1000) * 1000 * 1000 * 1000;
+
+/**
+ * A simulated address. Both virtual and physical addresses use this
+ * type; the vm::AddressLayout class decides how the bits are carved
+ * into memory, memory-proxy and device-proxy regions.
+ */
+using Addr = std::uint64_t;
+
+/** Node identifier in the multicomputer. */
+using NodeId = std::uint32_t;
+
+/** Process identifier within a node. */
+using Pid = std::uint32_t;
+
+/** An invalid/unassigned pid (kernel context). */
+constexpr Pid invalidPid = ~Pid(0);
+
+/** Convert seconds (double) to ticks. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return Tick(s * double(tickSec));
+}
+
+/** Convert ticks to seconds (double). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return double(t) / double(tickSec);
+}
+
+/** Convert ticks to microseconds (double), handy for reports. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return double(t) / double(tickUs);
+}
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_TYPES_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-process page table.
+ *
+ * Maps virtual page numbers to PTEs. PTEs live in node-based storage,
+ * so Pte pointers stay valid across unrelated inserts; the TLB caches
+ * Pte pointers and the kernel must invalidate the TLB before removing
+ * or re-pointing an entry.
+ */
+
+#ifndef SHRIMP_VM_PAGE_TABLE_HH
+#define SHRIMP_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace shrimp::vm
+{
+
+/**
+ * A page table entry. frameAddr is the physical base address of the
+ * target page and may point into real memory, a memory proxy region,
+ * or a device proxy region; the physical address map gives it meaning.
+ */
+struct Pte
+{
+    Addr frameAddr = 0;
+    bool valid = false;
+    bool writable = false;
+    bool user = true;
+    /** Hardware-managed: set by the MMU on any write through the PTE. */
+    bool dirty = false;
+    /** Hardware-managed: set by the MMU on any access; clock hand clears. */
+    bool referenced = false;
+};
+
+/** One process's virtual-to-physical mapping. */
+class PageTable
+{
+  public:
+    /** Find the PTE for a virtual page; nullptr if none exists. */
+    Pte *
+    lookup(std::uint64_t vpn)
+    {
+        auto it = entries_.find(vpn);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    const Pte *
+    lookup(std::uint64_t vpn) const
+    {
+        auto it = entries_.find(vpn);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Install (or overwrite) a mapping. Returns the stored PTE.
+     * Caller is responsible for TLB shootdown when overwriting.
+     */
+    Pte &
+    install(std::uint64_t vpn, const Pte &pte)
+    {
+        auto &slot = entries_[vpn];
+        slot = pte;
+        return slot;
+    }
+
+    /** Drop a mapping entirely. Caller handles TLB shootdown. */
+    void remove(std::uint64_t vpn) { entries_.erase(vpn); }
+
+    /** Number of installed entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Visit every (vpn, pte). The callback may mutate the PTE. */
+    void
+    forEach(const std::function<void(std::uint64_t, Pte &)> &fn)
+    {
+        for (auto &[vpn, pte] : entries_)
+            fn(vpn, pte);
+    }
+
+  private:
+    std::map<std::uint64_t, Pte> entries_;
+};
+
+} // namespace shrimp::vm
+
+#endif // SHRIMP_VM_PAGE_TABLE_HH

@@ -1,0 +1,24 @@
+#include "workload/traffic.hh"
+
+namespace shrimp::workload
+{
+
+const char *
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::NearestNeighbor:
+        return "nearest-neighbor";
+      case Pattern::UniformRandom:
+        return "uniform-random";
+      case Pattern::Hotspot:
+        return "hotspot";
+      case Pattern::Transpose:
+        return "transpose";
+      case Pattern::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+} // namespace shrimp::workload

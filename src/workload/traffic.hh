@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Synthetic traffic generators for multi-node experiments, in the
+ * tradition of interconnect studies: deterministic per-seed
+ * destination streams for the classic patterns.
+ *
+ *  - NearestNeighbor: node i always sends to (i+1) mod n (ring);
+ *  - UniformRandom:   uniformly random non-self destination;
+ *  - Hotspot:         a fraction of traffic converges on one node,
+ *                     the rest is uniform (exposes the receiver's
+ *                     EISA bus as the bottleneck, as on real SHRIMP);
+ *  - Transpose:       node i sends to (n-1-i) (a fixed permutation);
+ *  - Bursty:          nearest-neighbor destinations, but an on/off
+ *                     duty cycle the caller can query for pacing.
+ */
+
+#ifndef SHRIMP_WORKLOAD_TRAFFIC_HH
+#define SHRIMP_WORKLOAD_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace shrimp::workload
+{
+
+enum class Pattern
+{
+    NearestNeighbor,
+    UniformRandom,
+    Hotspot,
+    Transpose,
+    Bursty,
+};
+
+/** Human-readable pattern name (for table rows). */
+const char *patternName(Pattern p);
+
+/** Configuration shared by all nodes of one experiment. */
+struct TrafficConfig
+{
+    Pattern pattern = Pattern::UniformRandom;
+    unsigned nodes = 4;
+    std::uint32_t messageBytes = 4096;
+    unsigned messagesPerNode = 32;
+    std::uint64_t seed = 1;
+    /** Hotspot: fraction of messages aimed at the hot node. */
+    double hotspotFraction = 0.7;
+    NodeId hotspotNode = 0;
+    /** Bursty: fraction of the time the source is "on". */
+    double dutyCycle = 0.5;
+    std::uint32_t burstLength = 4;
+};
+
+/** One node's deterministic destination/pacing stream. */
+class TrafficGenerator
+{
+  public:
+    TrafficGenerator(const TrafficConfig &cfg, NodeId self)
+        : cfg_(cfg), self_(self),
+          rng_(cfg.seed * 0x9E3779B97F4A7C15ULL + self + 1)
+    {
+        SHRIMP_ASSERT(cfg.nodes >= 2, "traffic needs >= 2 nodes");
+        SHRIMP_ASSERT(self < cfg.nodes, "bad self id");
+    }
+
+    /** The next message's destination (never self). */
+    NodeId
+    nextDestination()
+    {
+        switch (cfg_.pattern) {
+          case Pattern::NearestNeighbor:
+          case Pattern::Bursty:
+            return (self_ + 1) % cfg_.nodes;
+
+          case Pattern::Transpose: {
+            NodeId d = cfg_.nodes - 1 - self_;
+            // The middle node of an odd-sized transpose pairs with
+            // its neighbour instead of itself.
+            return d == self_ ? (self_ + 1) % cfg_.nodes : d;
+          }
+
+          case Pattern::Hotspot: {
+            if (self_ != cfg_.hotspotNode
+                    && rng_.chance(cfg_.hotspotFraction)) {
+                return cfg_.hotspotNode;
+            }
+            return uniformNonSelf();
+          }
+
+          case Pattern::UniformRandom:
+          default:
+            return uniformNonSelf();
+        }
+    }
+
+    /**
+     * Bursty pacing: true if the source should send now, advancing
+     * the on/off state machine one message slot.
+     */
+    bool
+    sendNow()
+    {
+        if (cfg_.pattern != Pattern::Bursty)
+            return true;
+        if (slotInBurst_ == 0)
+            burstOn_ = rng_.chance(cfg_.dutyCycle);
+        slotInBurst_ = (slotInBurst_ + 1) % cfg_.burstLength;
+        return burstOn_;
+    }
+
+  private:
+    NodeId
+    uniformNonSelf()
+    {
+        NodeId d = NodeId(rng_.below(cfg_.nodes - 1));
+        return d >= self_ ? d + 1 : d;
+    }
+
+    TrafficConfig cfg_;
+    NodeId self_;
+    sim::Random rng_;
+    bool burstOn_ = true;
+    std::uint32_t slotInBurst_ = 0;
+};
+
+} // namespace shrimp::workload
+
+#endif // SHRIMP_WORKLOAD_TRAFFIC_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the shared I/O bus: serialization timing and proxy
+ * routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/io_bus.hh"
+#include "sim/event_queue.hh"
+#include "sim/params.hh"
+
+using namespace shrimp;
+using namespace shrimp::bus;
+
+namespace
+{
+
+struct RecordingClient : ProxyClient
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::int64_t lastValue = 0;
+    Addr lastAddr = 0;
+
+    std::uint64_t
+    proxyLoad(const vm::Decoded &, Addr paddr) override
+    {
+        ++loads;
+        lastAddr = paddr;
+        return 0x77;
+    }
+
+    void
+    proxyStore(const vm::Decoded &, Addr paddr,
+               std::int64_t value) override
+    {
+        ++stores;
+        lastAddr = paddr;
+        lastValue = value;
+    }
+};
+
+struct BusFixture : ::testing::Test
+{
+    sim::EventQueue eq;
+    sim::MachineParams params;
+    IoBus bus{eq, params};
+};
+
+} // namespace
+
+TEST_F(BusFixture, AcquireSerializesTransactions)
+{
+    Tick t1 = bus.acquire(100);
+    Tick t2 = bus.acquire(50);
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 150u) << "second transaction queues behind the first";
+    EXPECT_EQ(bus.freeAt(), 150u);
+}
+
+TEST_F(BusFixture, AcquireAfterIdleStartsAtNow)
+{
+    bus.acquire(100);
+    eq.schedule(500, "x", [] {});
+    eq.run();
+    Tick t = bus.acquire(10);
+    EXPECT_EQ(t, 510u);
+}
+
+TEST_F(BusFixture, AcquireAtHonorsEarliest)
+{
+    Tick t = bus.acquireAt(1000, 10);
+    EXPECT_EQ(t, 1010u);
+    // A later transaction still queues behind it.
+    EXPECT_EQ(bus.acquire(10), 1020u);
+}
+
+TEST_F(BusFixture, BurstTimingMatchesBandwidth)
+{
+    Tick t = bus.burstTransfer(2300); // 2300 B at 23 MB/s = 100 us
+    EXPECT_NEAR(double(t), 100.0 * tickUs, double(tickNs));
+    EXPECT_EQ(bus.burstCount(), 1u);
+}
+
+TEST_F(BusFixture, WordTransactionTiming)
+{
+    Tick t = bus.wordTransaction();
+    EXPECT_EQ(t, Tick(params.eisaWordNs * tickNs));
+    EXPECT_EQ(bus.wordCount(), 1u);
+}
+
+TEST_F(BusFixture, BusyTicksAccumulate)
+{
+    bus.acquire(100);
+    bus.acquire(200);
+    EXPECT_DOUBLE_EQ(bus.busyTicks(), 300.0);
+}
+
+TEST_F(BusFixture, AttachAndRoute)
+{
+    RecordingClient c0, c2;
+    bus.attach(0, &c0);
+    bus.attach(2, &c2);
+    EXPECT_EQ(bus.client(0), &c0);
+    EXPECT_EQ(bus.client(1), nullptr);
+    EXPECT_EQ(bus.client(2), &c2);
+    EXPECT_EQ(bus.client(99), nullptr);
+}
+
+TEST_F(BusFixture, DoubleAttachPanics)
+{
+    RecordingClient c;
+    bus.attach(0, &c);
+    EXPECT_THROW(bus.attach(0, &c), PanicError);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for System::dumpStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+TEST(StatsDump, EmitsAllComponentCounters)
+{
+    SystemConfig cfg;
+    cfg.nodes = 2;
+    cfg.node.memBytes = 4 << 20;
+    cfg.node.devices.push_back(DeviceConfig{});
+    System sys(cfg);
+
+    sys.node(0).kernel().spawn(
+        "p", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 1);
+        });
+    sys.runUntilAllDone();
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    std::string out = os.str();
+
+    for (const char *key :
+         {"sim.ticks ", "sim.events ", "net.bytesRouted ",
+          "node0.kernel.contextSwitches ", "node0.kernel.pageFaults ",
+          "node0.udma0.transfersStarted ", "node0.ni.messagesSent ",
+          "node0.bus.bursts ", "node0.tlb.hits ",
+          "node1.kernel.contextSwitches ", "node0.swap.pageWrites "}) {
+        EXPECT_NE(out.find(key), std::string::npos)
+            << "missing stat: " << key;
+    }
+}
+
+TEST(StatsDump, ValuesReflectActivity)
+{
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = 4 << 20;
+    DeviceConfig fb;
+    fb.kind = DeviceKind::FrameBuffer;
+    cfg.node.devices.push_back(fb);
+    System sys(cfg);
+
+    sys.node(0).kernel().spawn(
+        "p", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 7);
+            Addr win = co_await ctx.sysMapDeviceProxy(0, 0, 1, true);
+            co_await udmaTransfer(ctx, 0, win, buf, 512, true);
+        });
+    sys.runUntilAllDone();
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("node0.udma0.transfersStarted 1"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("node0.udma0.engine.bytesMoved 512"),
+              std::string::npos)
+        << out;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the generic UDMA devices: frame buffer, disk,
+ * stream sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dev/disk.hh"
+#include "dev/frame_buffer.hh"
+#include "dev/stream_sink.hh"
+#include "sim/params.hh"
+
+using namespace shrimp;
+using namespace shrimp::dev;
+
+// ---------------------------------------------------------- FrameBuffer
+
+TEST(FrameBuffer, GeometryAndExtent)
+{
+    FrameBuffer fb(320, 240);
+    EXPECT_EQ(fb.width(), 320u);
+    EXPECT_EQ(fb.height(), 240u);
+    EXPECT_EQ(fb.proxyExtentBytes(), 320u * 240 * 4);
+}
+
+TEST(FrameBuffer, PushPullRoundTrip)
+{
+    FrameBuffer fb(16, 16);
+    std::vector<std::uint8_t> in(64);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = std::uint8_t(i);
+    fb.devicePush(128, in.data(), 64);
+    std::vector<std::uint8_t> out(64);
+    fb.devicePull(128, out.data(), 64);
+    EXPECT_EQ(in, out);
+}
+
+TEST(FrameBuffer, PixelAccessor)
+{
+    FrameBuffer fb(16, 16);
+    std::uint32_t px = 0xAABBCCDD;
+    fb.devicePush((16 + 2) * 4, reinterpret_cast<std::uint8_t *>(&px),
+                  4);
+    EXPECT_EQ(fb.pixel(2, 1), 0xAABBCCDDu);
+    EXPECT_THROW(fb.pixel(16, 0), PanicError);
+}
+
+TEST(FrameBuffer, ValidatesAlignmentAndRange)
+{
+    FrameBuffer fb(16, 16); // 1024 bytes
+    EXPECT_EQ(fb.validateTransfer(true, 0, 1024), 0);
+    EXPECT_EQ(fb.validateTransfer(true, 2, 8),
+              dma::device_error::alignment);
+    EXPECT_EQ(fb.validateTransfer(true, 0, 10),
+              dma::device_error::alignment);
+    EXPECT_EQ(fb.validateTransfer(true, 1020, 8),
+              dma::device_error::range);
+}
+
+TEST(FrameBuffer, BoundaryIsWholeVram)
+{
+    FrameBuffer fb(16, 16);
+    EXPECT_EQ(fb.deviceBoundary(0), 1024u);
+    EXPECT_EQ(fb.deviceBoundary(1000), 24u);
+    EXPECT_EQ(fb.deviceBoundary(2000), 1u) << "past the end: clamp to 1";
+}
+
+TEST(FrameBuffer, NeverStalls)
+{
+    FrameBuffer fb(16, 16);
+    EXPECT_EQ(fb.pushCapacity(0, 999), 999u);
+    EXPECT_EQ(fb.pullAvailable(0, 999), 999u);
+}
+
+// ----------------------------------------------------------------- Disk
+
+TEST(Disk, ImageRoundTripThroughDma)
+{
+    sim::MachineParams params;
+    Disk d(params, 64 << 10);
+    std::uint8_t in[16] = {1, 2, 3, 4, 5, 6, 7, 8,
+                           9, 10, 11, 12, 13, 14, 15, 16};
+    d.devicePush(8192, in, 16);
+    std::uint8_t out[16];
+    d.devicePull(8192, out, 16);
+    EXPECT_EQ(0, memcmp(in, out, 16));
+    EXPECT_EQ(d.blockReads(), 1u);
+    EXPECT_EQ(d.blockWrites(), 1u);
+}
+
+TEST(Disk, HostImageAccess)
+{
+    sim::MachineParams params;
+    Disk d(params, 64 << 10);
+    std::uint32_t v = 0x12345678;
+    d.writeImage(100, &v, 4);
+    std::uint32_t r = 0;
+    d.readImage(100, &r, 4);
+    EXPECT_EQ(r, v);
+}
+
+TEST(Disk, ValidatesRangeAndAlignment)
+{
+    sim::MachineParams params;
+    Disk d(params, 64 << 10);
+    EXPECT_EQ(d.validateTransfer(true, 0, 4096), 0);
+    EXPECT_EQ(d.validateTransfer(false, 1, 4),
+              dma::device_error::alignment);
+    EXPECT_EQ(d.validateTransfer(true, (64 << 10) - 4, 8),
+              dma::device_error::range);
+}
+
+TEST(Disk, BoundaryIsTheBlock)
+{
+    sim::MachineParams params;
+    Disk d(params, 64 << 10, 4096);
+    EXPECT_EQ(d.deviceBoundary(0), 4096u);
+    EXPECT_EQ(d.deviceBoundary(4000), 96u);
+    EXPECT_EQ(d.deviceBoundary(4096), 4096u);
+}
+
+TEST(Disk, ChargesSeekLatency)
+{
+    sim::MachineParams params;
+    Disk d(params, 64 << 10);
+    EXPECT_EQ(d.startLatency(true, 0), params.diskAccess());
+    EXPECT_GT(d.startLatency(false, 0), Tick(1000) * tickUs)
+        << "a 1995 disk seek is on the order of milliseconds";
+}
+
+TEST(Disk, RejectsUnalignedCapacity)
+{
+    sim::MachineParams params;
+    EXPECT_THROW(Disk(params, 5000, 4096), FatalError);
+}
+
+// ----------------------------------------------------------- StreamSink
+
+TEST(StreamSink, CountsAcceptedBytes)
+{
+    StreamSink s(1 << 20);
+    std::uint8_t buf[100] = {};
+    s.devicePush(0, buf, 100);
+    s.devicePush(0, buf, 50);
+    EXPECT_EQ(s.bytesAccepted(), 150u);
+}
+
+TEST(StreamSink, SourcesDeterministicPattern)
+{
+    StreamSink s(1 << 20);
+    std::uint8_t a[8], b[8];
+    s.devicePull(256, a, 8);
+    s.devicePull(256, b, 8);
+    EXPECT_EQ(0, memcmp(a, b, 8));
+    EXPECT_EQ(a[0], std::uint8_t(256 & 0xff));
+    EXPECT_EQ(a[1], std::uint8_t(257 & 0xff));
+    EXPECT_EQ(s.bytesSourced(), 16u);
+}
+
+TEST(StreamSink, ValidatesExtent)
+{
+    StreamSink s(4096);
+    EXPECT_EQ(s.validateTransfer(true, 0, 4096), 0);
+    EXPECT_EQ(s.validateTransfer(true, 4096, 4),
+              dma::device_error::range);
+    EXPECT_EQ(s.validateTransfer(true, 3, 4),
+              dma::device_error::alignment);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the Section 5 extension: "a mechanism for software to
+ * terminate a transfer and force a transition from the Transferring
+ * state to the Idle state ... useful for dealing with memory system
+ * errors that the DMA hardware cannot handle transparently."
+ */
+
+#include <gtest/gtest.h>
+
+#include "dma/udma_controller.hh"
+#include "mock_device.hh"
+
+using namespace shrimp;
+using namespace shrimp::dma;
+
+namespace
+{
+
+struct AbortFixture : ::testing::Test
+{
+    sim::EventQueue eq;
+    sim::MachineParams params;
+    vm::AddressLayout layout{1 << 20, 4096, 1};
+    mem::PhysicalMemory memory{1 << 20, 4096};
+    bus::IoBus bus{eq, params};
+    test::MockDevice dev;
+    UdmaController ctrl{eq, params, layout, memory, bus, dev, 0, 2};
+
+    void
+    initiate(Addr mem_real, Addr dev_off, std::uint32_t count)
+    {
+        Addr dst = layout.devProxyBase(0) + dev_off;
+        ctrl.proxyStore(layout.decode(dst), dst,
+                        std::int64_t(count));
+        Addr src = layout.proxy(mem_real, 0);
+        (void)ctrl.proxyLoad(layout.decode(src), src);
+    }
+};
+
+using State = UdmaController::State;
+
+} // namespace
+
+TEST_F(AbortFixture, AbortIdleReturnsFalse)
+{
+    EXPECT_FALSE(ctrl.abortTransfer());
+    EXPECT_EQ(ctrl.transfersAborted(), 0u);
+}
+
+TEST_F(AbortFixture, AbortForcesTransferringToIdle)
+{
+    initiate(0, 0, 4096);
+    EXPECT_EQ(ctrl.state(), State::Transferring);
+    // Let a few chunks move, then pull the plug.
+    for (int i = 0; i < 4; ++i)
+        (void)eq.step();
+    EXPECT_TRUE(ctrl.abortTransfer());
+    EXPECT_EQ(ctrl.state(), State::Idle);
+    EXPECT_EQ(ctrl.transfersAborted(), 1u);
+    // The queue drains cleanly: no further chunks arrive.
+    auto moved = dev.received.size();
+    eq.run();
+    EXPECT_EQ(dev.received.size(), moved)
+        << "in-flight chunk events must be cancelled";
+    EXPECT_LT(moved, 4096u);
+    EXPECT_FALSE(ctrl.pageBusy(0)) << "I4 reference released";
+}
+
+TEST_F(AbortFixture, NewTransferAfterAbortWorks)
+{
+    initiate(0, 0, 4096);
+    (void)eq.step();
+    ASSERT_TRUE(ctrl.abortTransfer());
+    // A fresh initiation right away must run to completion.
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        std::uint8_t b = std::uint8_t(i + 1);
+        memory.writeBytes(0x2000 + i, &b, 1);
+    }
+    dev.received.clear();
+    initiate(0x2000, 512, 64);
+    eq.run();
+    EXPECT_EQ(ctrl.state(), State::Idle);
+    ASSERT_EQ(dev.received.size(), 64u);
+    EXPECT_EQ(dev.received[0], 1);
+    EXPECT_EQ(ctrl.transfersStarted(), 2u);
+}
+
+TEST_F(AbortFixture, QueuedRequestsSurviveAnAbort)
+{
+    initiate(0, 0, 4096);          // in flight
+    initiate(0x1000, 4096, 4096);  // queued
+    EXPECT_EQ(ctrl.queuedRequests(), 1u);
+    ASSERT_TRUE(ctrl.abortTransfer());
+    // The queued request was promoted immediately.
+    EXPECT_EQ(ctrl.state(), State::Transferring);
+    EXPECT_EQ(ctrl.queuedRequests(), 0u);
+    eq.run();
+    EXPECT_EQ(ctrl.state(), State::Idle);
+    EXPECT_EQ(ctrl.transfersStarted(), 2u);
+    // The second transfer's 4096 bytes all arrived.
+    EXPECT_GE(dev.received.size(), 4096u);
+}
+
+TEST_F(AbortFixture, StatusAfterAbortReportsIdle)
+{
+    initiate(0, 0, 4096);
+    (void)eq.step();
+    ctrl.abortTransfer();
+    Addr src = layout.proxy(0, 0);
+    auto st = Status::unpack(ctrl.proxyLoad(layout.decode(src), src));
+    EXPECT_TRUE(st.invalid);
+    EXPECT_FALSE(st.match)
+        << "the polling recipe correctly reads 'no longer in flight'";
+}

@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Unit tests for the UDMA controller: every transition of the Figure 5
+ * state machine, the Section 5 status word semantics, optimistic page
+ * clamping (Section 8), and the Section 7 queueing extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dma/udma_controller.hh"
+#include "mock_device.hh"
+
+using namespace shrimp;
+using namespace shrimp::dma;
+
+namespace
+{
+
+struct ControllerFixture : ::testing::Test
+{
+    static constexpr unsigned devIdx = 0;
+    sim::EventQueue eq;
+    sim::MachineParams params;
+    vm::AddressLayout layout{1 << 20, 4096, 2};
+    mem::PhysicalMemory memory{1 << 20, 4096};
+    bus::IoBus bus{eq, params};
+    test::MockDevice dev;
+    UdmaController ctrl{eq,  params, layout, memory,
+                        bus, dev,    devIdx, 0};
+
+    Addr
+    memProxy(Addr real) const
+    {
+        return layout.proxy(real, devIdx);
+    }
+
+    Addr
+    devProxy(Addr off) const
+    {
+        return layout.devProxyBase(devIdx) + off;
+    }
+
+    /** Issue a STORE bus cycle. */
+    void
+    store(Addr paddr, std::int64_t value)
+    {
+        ctrl.proxyStore(layout.decode(paddr), paddr, value);
+    }
+
+    /** Issue a LOAD bus cycle; returns the decoded status. */
+    Status
+    load(Addr paddr)
+    {
+        return Status::unpack(ctrl.proxyLoad(layout.decode(paddr),
+                                             paddr));
+    }
+
+    /** Fill real memory with a recognizable pattern. */
+    void
+    fill(Addr base, std::uint32_t len)
+    {
+        for (std::uint32_t i = 0; i < len; ++i) {
+            auto b = std::uint8_t(i + 3);
+            memory.writeBytes(base + i, &b, 1);
+        }
+    }
+};
+
+using State = UdmaController::State;
+
+} // namespace
+
+// ---------------------------------------------------------------- Idle
+
+TEST_F(ControllerFixture, StartsIdle)
+{
+    EXPECT_EQ(ctrl.state(), State::Idle);
+}
+
+TEST_F(ControllerFixture, LoadWhileIdleIsStatusOnly)
+{
+    Status st = load(memProxy(0x1000));
+    EXPECT_TRUE(st.initiationFailed);
+    EXPECT_TRUE(st.invalid) << "INVALID FLAG: one if in the Idle state";
+    EXPECT_FALSE(st.transferring);
+    EXPECT_FALSE(st.match);
+    EXPECT_EQ(st.remainingBytes, 0u);
+    EXPECT_EQ(ctrl.state(), State::Idle);
+}
+
+TEST_F(ControllerFixture, InvalWhileIdleIsNoOp)
+{
+    store(memProxy(0x1000), -1);
+    EXPECT_EQ(ctrl.state(), State::Idle);
+    EXPECT_EQ(ctrl.invalsApplied(), 0u)
+        << "nothing pending, nothing invalidated";
+}
+
+// ---------------------------------------------------- Store/DestLoaded
+
+TEST_F(ControllerFixture, StoreLatchesDestination)
+{
+    store(devProxy(64), 256);
+    EXPECT_EQ(ctrl.state(), State::DestLoaded);
+    Addr page;
+    EXPECT_FALSE(ctrl.destLoadedPage(page))
+        << "device destinations have no memory page";
+}
+
+TEST_F(ControllerFixture, StoreToMemProxyLatchesRealPage)
+{
+    store(memProxy(0x3010), 256);
+    EXPECT_EQ(ctrl.state(), State::DestLoaded);
+    Addr page = 0;
+    ASSERT_TRUE(ctrl.destLoadedPage(page));
+    EXPECT_EQ(page, 0x3000u);
+}
+
+TEST_F(ControllerFixture, StatusInDestLoadedShowsCount)
+{
+    store(devProxy(0), 300);
+    // A status LOAD in DestLoaded *initiates*, so peek at REMAINING
+    // via a BadLoad-free route: the load below initiates and reports
+    // the clamped count.
+    Status st = load(memProxy(0x1000));
+    EXPECT_FALSE(st.initiationFailed);
+    EXPECT_EQ(st.remainingBytes, 300u);
+}
+
+TEST_F(ControllerFixture, SecondStoreOverwritesDestAndCount)
+{
+    store(devProxy(0), 100);
+    store(devProxy(512), 200);
+    EXPECT_EQ(ctrl.state(), State::DestLoaded);
+    Status st = load(memProxy(0x1000));
+    EXPECT_FALSE(st.initiationFailed);
+    EXPECT_EQ(st.remainingBytes, 200u) << "latest STORE wins";
+    EXPECT_EQ(dev.pushOffsets.empty(), true);
+    eq.run();
+    EXPECT_EQ(dev.pushOffsets.front(), 512u);
+}
+
+TEST_F(ControllerFixture, InvalClearsDestLoaded)
+{
+    store(devProxy(0), 100);
+    store(memProxy(0x2000), -5);
+    EXPECT_EQ(ctrl.state(), State::Idle);
+    EXPECT_EQ(ctrl.invalsApplied(), 1u);
+    // A later LOAD must NOT start anything (I1's point).
+    Status st = load(memProxy(0x1000));
+    EXPECT_TRUE(st.initiationFailed);
+    EXPECT_TRUE(st.invalid);
+}
+
+TEST_F(ControllerFixture, ZeroCountIsInval)
+{
+    store(devProxy(0), 100);
+    store(devProxy(0), 0);
+    EXPECT_EQ(ctrl.state(), State::Idle)
+        << "a non-positive nbytes is an Inval event";
+}
+
+TEST_F(ControllerFixture, ExplicitInvalMethodMatchesBusInval)
+{
+    store(devProxy(0), 100);
+    ctrl.inval();
+    EXPECT_EQ(ctrl.state(), State::Idle);
+}
+
+// ------------------------------------------------------------- BadLoad
+
+TEST_F(ControllerFixture, BadLoadDeviceToDevice)
+{
+    store(devProxy(0), 100);
+    Status st = load(devProxy(4096));
+    EXPECT_TRUE(st.initiationFailed);
+    EXPECT_TRUE(st.wrongSpace)
+        << "WRONG-SPACE FLAG set on a BadLoad (Section 5)";
+    EXPECT_EQ(ctrl.state(), State::Idle)
+        << "BadLoad: DestLoaded -> Idle";
+    EXPECT_EQ(ctrl.badLoads(), 1u);
+}
+
+TEST_F(ControllerFixture, BadLoadMemoryToMemory)
+{
+    store(memProxy(0x1000), 100);
+    Status st = load(memProxy(0x2000));
+    EXPECT_TRUE(st.wrongSpace);
+    EXPECT_EQ(ctrl.state(), State::Idle);
+}
+
+// ------------------------------------------------- successful initiation
+
+TEST_F(ControllerFixture, MemoryToDeviceInitiation)
+{
+    fill(0x3000, 512);
+    store(devProxy(128), 512);
+    Status st = load(memProxy(0x3000));
+    EXPECT_FALSE(st.initiationFailed)
+        << "INITIATION FLAG zero iff the access started a transfer";
+    EXPECT_TRUE(st.transferring);
+    EXPECT_FALSE(st.invalid);
+    EXPECT_TRUE(st.match) << "referenced address is the base address";
+    EXPECT_EQ(st.remainingBytes, 512u);
+    EXPECT_EQ(ctrl.state(), State::Transferring);
+    eq.run();
+    EXPECT_EQ(ctrl.state(), State::Idle) << "TransferDone -> Idle";
+    ASSERT_EQ(dev.received.size(), 512u);
+    EXPECT_EQ(dev.received[0], 3);
+    EXPECT_TRUE(dev.lastToDevice);
+}
+
+TEST_F(ControllerFixture, DeviceToMemoryInitiation)
+{
+    store(memProxy(0x4000), 256);
+    Status st = load(devProxy(64));
+    EXPECT_FALSE(st.initiationFailed);
+    eq.run();
+    EXPECT_EQ(memory.read<std::uint8_t>(0x4000),
+              dev.sourceData[64 % dev.sourceData.size()]);
+    EXPECT_FALSE(dev.lastToDevice);
+}
+
+TEST_F(ControllerFixture, PollingDuringTransfer)
+{
+    fill(0, 4096);
+    store(devProxy(0), 4096);
+    Addr src = memProxy(0);
+    Status st = load(src);
+    ASSERT_FALSE(st.initiationFailed);
+    // Poll with the same LOAD: match stays set, remaining shrinks.
+    bool saw_partial = false;
+    while (ctrl.state() == State::Transferring) {
+        Status poll = load(src);
+        EXPECT_TRUE(poll.initiationFailed);
+        EXPECT_TRUE(poll.transferring);
+        EXPECT_TRUE(poll.match);
+        if (poll.remainingBytes > 0 && poll.remainingBytes < 4096)
+            saw_partial = true;
+        if (!eq.step())
+            break;
+    }
+    EXPECT_TRUE(saw_partial);
+    Status done = load(src);
+    EXPECT_FALSE(done.match) << "match clears at completion";
+    EXPECT_TRUE(done.invalid);
+}
+
+TEST_F(ControllerFixture, PollWithDifferentAddressHasNoMatch)
+{
+    fill(0, 512);
+    store(devProxy(0), 512);
+    (void)load(memProxy(0));
+    Status st = load(memProxy(0x9000));
+    EXPECT_TRUE(st.transferring);
+    EXPECT_FALSE(st.match)
+        << "MATCH only for the base address of the transfer";
+    eq.run();
+}
+
+TEST_F(ControllerFixture, MatchOnDestinationAddressToo)
+{
+    fill(0, 512);
+    store(devProxy(256), 512);
+    (void)load(memProxy(0));
+    Status st = load(devProxy(256));
+    EXPECT_TRUE(st.match);
+    eq.run();
+}
+
+TEST_F(ControllerFixture, StoreDuringTransferIsAbsorbed)
+{
+    fill(0, 4096);
+    store(devProxy(0), 4096);
+    (void)load(memProxy(0));
+    // Basic hardware: a Store in Transferring neither transitions nor
+    // latches (the user retries the whole sequence).
+    store(devProxy(512), 100);
+    EXPECT_EQ(ctrl.state(), State::Transferring);
+    eq.run();
+    EXPECT_EQ(ctrl.state(), State::Idle)
+        << "absorbed store must not leave a pending destination";
+    EXPECT_EQ(ctrl.transfersStarted(), 1u);
+}
+
+TEST_F(ControllerFixture, InvalDoesNotKillRunningTransfer)
+{
+    fill(0, 2048);
+    store(devProxy(0), 2048);
+    (void)load(memProxy(0));
+    ctrl.inval();
+    EXPECT_EQ(ctrl.state(), State::Transferring)
+        << "'Once started, a UDMA transfer continues'";
+    eq.run();
+    EXPECT_EQ(dev.received.size(), 2048u);
+}
+
+// ------------------------------------------------------------ clamping
+
+TEST_F(ControllerFixture, ClampsAtSourcePageBoundary)
+{
+    fill(0x3F00, 256);
+    store(devProxy(0), 4096);
+    Status st = load(memProxy(0x3F00)); // 256 bytes to page end
+    EXPECT_FALSE(st.initiationFailed);
+    EXPECT_EQ(st.remainingBytes, 256u)
+        << "optimistic hardware truncation at the page boundary";
+    eq.run();
+    EXPECT_EQ(dev.received.size(), 256u);
+}
+
+TEST_F(ControllerFixture, ClampsAtDestinationPageBoundary)
+{
+    store(memProxy(0x3E00), 4096); // dest: 512 bytes to page end
+    Status st = load(devProxy(0));
+    EXPECT_EQ(st.remainingBytes, 512u);
+    eq.run();
+}
+
+TEST_F(ControllerFixture, ClampsAtDeviceBoundary)
+{
+    dev.boundaryBytes = 128;
+    fill(0x3000, 4096);
+    store(devProxy(0), 4096);
+    Status st = load(memProxy(0x3000));
+    EXPECT_EQ(st.remainingBytes, 128u);
+    eq.run();
+}
+
+TEST_F(ControllerFixture, CountCappedByRegisterWidth)
+{
+    store(devProxy(0), std::int64_t(1) << 40);
+    Status st = load(memProxy(0));
+    // Page clamp dominates anyway, but the COUNT register is 24 bits.
+    EXPECT_LE(st.remainingBytes, 0xFFFFFFu);
+    eq.run();
+}
+
+// ------------------------------------------------------ device errors
+
+TEST_F(ControllerFixture, DeviceValidationErrorAborts)
+{
+    dev.nextError = device_error::alignment;
+    store(devProxy(2), 100);
+    Status st = load(memProxy(0x1000));
+    EXPECT_TRUE(st.initiationFailed);
+    EXPECT_EQ(st.deviceError, device_error::alignment);
+    EXPECT_EQ(ctrl.state(), State::Idle);
+    EXPECT_EQ(ctrl.transfersStarted(), 0u);
+}
+
+// --------------------------------------------------------- I4 queries
+
+TEST_F(ControllerFixture, PageRefsDuringTransfer)
+{
+    fill(0x5000, 4096);
+    store(devProxy(0), 4096);
+    (void)load(memProxy(0x5000));
+    EXPECT_TRUE(ctrl.pageBusy(0x5000));
+    EXPECT_EQ(ctrl.pageRefCount(0x5000), 1u);
+    EXPECT_FALSE(ctrl.pageBusy(0x6000));
+    eq.run();
+    EXPECT_FALSE(ctrl.pageBusy(0x5000));
+    EXPECT_EQ(ctrl.pageRefCount(0x5000), 0u);
+}
+
+// ------------------------------------------------- Section 7 queueing
+
+namespace
+{
+
+struct QueueFixture : ControllerFixture
+{
+    UdmaController qctrl{eq,  params, layout, memory,
+                         bus, dev,    1,      2}; // depth 2, device 1
+
+    Addr
+    qMemProxy(Addr real) const
+    {
+        return layout.proxy(real, 1);
+    }
+
+    Addr
+    qDevProxy(Addr off) const
+    {
+        return layout.devProxyBase(1) + off;
+    }
+
+    void
+    qStore(Addr paddr, std::int64_t v)
+    {
+        qctrl.proxyStore(layout.decode(paddr), paddr, v);
+    }
+
+    Status
+    qLoad(Addr paddr)
+    {
+        return Status::unpack(qctrl.proxyLoad(layout.decode(paddr),
+                                              paddr));
+    }
+};
+
+} // namespace
+
+TEST_F(QueueFixture, QueuesWhileBusy)
+{
+    fill(0, 3 * 4096);
+    qStore(qDevProxy(0), 4096);
+    ASSERT_FALSE(qLoad(qMemProxy(0)).initiationFailed);
+    // Engine busy: the next two pairs queue.
+    qStore(qDevProxy(4096), 4096);
+    Status s2 = qLoad(qMemProxy(4096));
+    EXPECT_FALSE(s2.initiationFailed) << "accepted into the queue";
+    EXPECT_EQ(s2.remainingBytes, 4096u);
+    qStore(qDevProxy(8192), 4096);
+    EXPECT_FALSE(qLoad(qMemProxy(8192)).initiationFailed);
+    EXPECT_EQ(qctrl.queuedRequests(), 2u);
+
+    // Queue full: refusal with the QUEUE-FULL error bit.
+    qStore(qDevProxy(12288), 4096);
+    Status s4 = qLoad(qMemProxy(12288));
+    EXPECT_TRUE(s4.initiationFailed);
+    EXPECT_EQ(s4.deviceError, device_error::queueFull);
+    EXPECT_EQ(qctrl.queueRefusals(), 1u);
+
+    eq.run();
+    // The refused pair's DESTINATION stays latched for a LOAD-only
+    // retry, so the machine rests in DestLoaded, not Idle.
+    EXPECT_EQ(qctrl.state(), State::DestLoaded);
+    EXPECT_EQ(dev.received.size(), 3u * 4096);
+    EXPECT_EQ(qctrl.transfersStarted(), 3u);
+    qctrl.inval();
+    EXPECT_EQ(qctrl.state(), State::Idle);
+}
+
+TEST_F(QueueFixture, QueueDrainsInFifoOrder)
+{
+    fill(0, 2 * 4096);
+    qStore(qDevProxy(100 * 4096), 256);
+    (void)qLoad(qMemProxy(0));
+    qStore(qDevProxy(200 * 4096), 256);
+    (void)qLoad(qMemProxy(4096));
+    qStore(qDevProxy(300 * 4096), 256);
+    (void)qLoad(qMemProxy(8192));
+    eq.run();
+    ASSERT_EQ(dev.pushOffsets.size(), 3u);
+    EXPECT_EQ(dev.pushOffsets[0], 100u * 4096);
+    EXPECT_EQ(dev.pushOffsets[1], 200u * 4096);
+    EXPECT_EQ(dev.pushOffsets[2], 300u * 4096);
+}
+
+TEST_F(QueueFixture, QueuedPagesCountForI4)
+{
+    fill(0, 2 * 4096);
+    qStore(qDevProxy(0), 4096);
+    (void)qLoad(qMemProxy(0));
+    qStore(qDevProxy(4096), 4096);
+    (void)qLoad(qMemProxy(4096));
+    EXPECT_TRUE(qctrl.pageBusy(0)) << "in-flight page";
+    EXPECT_TRUE(qctrl.pageBusy(4096)) << "queued page counts too";
+    eq.run();
+    EXPECT_FALSE(qctrl.pageBusy(0));
+    EXPECT_FALSE(qctrl.pageBusy(4096));
+}
+
+TEST_F(QueueFixture, MatchCoversQueuedRequests)
+{
+    fill(0, 2 * 4096);
+    qStore(qDevProxy(0), 4096);
+    (void)qLoad(qMemProxy(0));
+    qStore(qDevProxy(4096), 4096);
+    (void)qLoad(qMemProxy(4096));
+    Status st = qLoad(qMemProxy(4096));
+    EXPECT_TRUE(st.match)
+        << "waiting for the last transfer of a multi-page send";
+    eq.run();
+    EXPECT_FALSE(qLoad(qMemProxy(4096)).match);
+}
+
+TEST_F(QueueFixture, RefusedRequestKeepsPendingDestForRetry)
+{
+    fill(0, 4 * 4096);
+    qStore(qDevProxy(0), 4096);
+    (void)qLoad(qMemProxy(0));
+    qStore(qDevProxy(4096), 4096);
+    (void)qLoad(qMemProxy(4096));
+    qStore(qDevProxy(8192), 4096);
+    (void)qLoad(qMemProxy(8192));
+    // Queue (depth 2) is full; this pair is refused...
+    qStore(qDevProxy(12288), 4096);
+    EXPECT_TRUE(qLoad(qMemProxy(12288)).initiationFailed);
+    // ...but the destination stays latched: finish one transfer and
+    // retry just the LOAD.
+    while (qctrl.queuedRequests() == 2 && eq.step()) {
+    }
+    Status retry = qLoad(qMemProxy(12288));
+    EXPECT_FALSE(retry.initiationFailed)
+        << "'A transfer request is refused only when the queue is "
+           "full' (Section 7)";
+    eq.run();
+    EXPECT_EQ(qctrl.transfersStarted(), 4u);
+}

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the classic DMA engine (paper Figure 1): data
+ * movement, chunking, flow control, scatter segments, and the I4
+ * pageBusy query.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dma/dma_engine.hh"
+#include "mock_device.hh"
+
+using namespace shrimp;
+using namespace shrimp::dma;
+
+namespace
+{
+
+struct EngineFixture : ::testing::Test
+{
+    sim::EventQueue eq;
+    sim::MachineParams params;
+    mem::PhysicalMemory memory{1 << 20, 4096};
+    bus::IoBus bus{eq, params};
+    test::MockDevice dev;
+    DmaEngine engine{eq, params, memory, bus, dev, 256};
+
+    bool completed = false;
+
+    TransferDesc
+    toDeviceDesc(Addr mem_addr, std::uint32_t len, Addr dev_off = 0)
+    {
+        TransferDesc d;
+        d.toDevice = true;
+        d.segments = {Segment{mem_addr, len}};
+        d.devOffset = dev_off;
+        d.onComplete = [this] { completed = true; };
+        return d;
+    }
+
+    void
+    fillMemory(Addr base, std::uint32_t len)
+    {
+        for (std::uint32_t i = 0; i < len; ++i) {
+            std::uint8_t b = std::uint8_t(i * 13 + 1);
+            memory.writeBytes(base + i, &b, 1);
+        }
+    }
+};
+
+} // namespace
+
+TEST_F(EngineFixture, MovesDataToDevice)
+{
+    fillMemory(0x1000, 1000);
+    engine.start(toDeviceDesc(0x1000, 1000, 64));
+    EXPECT_TRUE(engine.busy());
+    eq.run();
+    EXPECT_FALSE(engine.busy());
+    EXPECT_TRUE(completed);
+    ASSERT_EQ(dev.received.size(), 1000u);
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        ASSERT_EQ(dev.received[i], std::uint8_t(i * 13 + 1));
+    EXPECT_EQ(dev.pushOffsets.front(), 64u)
+        << "device offset must be passed through";
+    EXPECT_EQ(engine.bytesMoved(), 1000u);
+    EXPECT_EQ(engine.transfersCompleted(), 1u);
+}
+
+TEST_F(EngineFixture, MovesDataFromDevice)
+{
+    TransferDesc d;
+    d.toDevice = false;
+    d.segments = {Segment{0x2000, 512}};
+    d.devOffset = 100;
+    d.onComplete = [this] { completed = true; };
+    engine.start(std::move(d));
+    eq.run();
+    EXPECT_TRUE(completed);
+    for (std::uint32_t i = 0; i < 512; ++i) {
+        EXPECT_EQ(memory.read<std::uint8_t>(0x2000 + i),
+                  dev.sourceData[(100 + i) % dev.sourceData.size()]);
+    }
+}
+
+TEST_F(EngineFixture, TransferTimeMatchesBurstBandwidth)
+{
+    fillMemory(0, 4096);
+    engine.start(toDeviceDesc(0, 4096));
+    Tick done = eq.run();
+    Tick expected = params.dmaStart() + params.eisaBurst(4096);
+    EXPECT_NEAR(double(done), double(expected),
+                double(params.eisaBurst(256)))
+        << "start latency + burst time, within one chunk";
+}
+
+TEST_F(EngineFixture, DeviceStartLatencyAdds)
+{
+    dev.extraStartLatency = 5 * tickUs;
+    fillMemory(0, 256);
+    engine.start(toDeviceDesc(0, 256));
+    Tick done = eq.run();
+    EXPECT_GE(done, params.dmaStart() + 5 * tickUs);
+}
+
+TEST_F(EngineFixture, FlowControlStallsAndResumes)
+{
+    fillMemory(0, 1024);
+    dev.pushThrottle = 0; // device refuses everything
+    engine.start(toDeviceDesc(0, 1024));
+    eq.run();
+    EXPECT_TRUE(engine.busy()) << "engine must stall, not spin";
+    EXPECT_EQ(dev.received.size(), 0u);
+    EXPECT_GT(engine.stallEvents(), 0u);
+    dev.unthrottle();
+    eq.run();
+    EXPECT_FALSE(engine.busy());
+    EXPECT_EQ(dev.received.size(), 1024u);
+}
+
+TEST_F(EngineFixture, PullFlowControlStallsAndResumes)
+{
+    dev.pullThrottle = 0; // the device has no data yet
+    TransferDesc d;
+    d.toDevice = false;
+    d.segments = {Segment{0x2000, 512}};
+    d.onComplete = [this] { completed = true; };
+    engine.start(std::move(d));
+    eq.run();
+    EXPECT_TRUE(engine.busy()) << "pull side must stall, not spin";
+    EXPECT_FALSE(completed);
+    dev.unthrottle();
+    eq.run();
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(memory.read<std::uint8_t>(0x2000), dev.sourceData[0]);
+}
+
+TEST_F(EngineFixture, PullTrickleDeliversAllBytes)
+{
+    dev.pullThrottle = 64;
+    TransferDesc d;
+    d.toDevice = false;
+    d.segments = {Segment{0x3000, 700}};
+    d.devOffset = 40;
+    d.onComplete = [this] { completed = true; };
+    engine.start(std::move(d));
+    eq.run();
+    EXPECT_TRUE(completed);
+    for (std::uint32_t i = 0; i < 700; ++i) {
+        ASSERT_EQ(memory.read<std::uint8_t>(0x3000 + i),
+                  dev.sourceData[(40 + i) % dev.sourceData.size()]);
+    }
+}
+
+TEST_F(EngineFixture, PartialCapacityTrickle)
+{
+    fillMemory(0, 600);
+    dev.pushThrottle = 100; // 100 bytes per chunk max
+    engine.start(toDeviceDesc(0, 600));
+    eq.run();
+    EXPECT_EQ(dev.received.size(), 600u);
+    for (std::uint32_t i = 0; i < 600; ++i)
+        ASSERT_EQ(dev.received[i], std::uint8_t(i * 13 + 1));
+}
+
+TEST_F(EngineFixture, GatherSegments)
+{
+    fillMemory(0x1000, 300);
+    fillMemory(0x5000, 200);
+    TransferDesc d;
+    d.toDevice = true;
+    d.segments = {Segment{0x1000, 300}, Segment{0x5000, 200}};
+    d.onComplete = [this] { completed = true; };
+    engine.start(std::move(d));
+    eq.run();
+    ASSERT_EQ(dev.received.size(), 500u);
+    // First 300 bytes from the first segment...
+    for (std::uint32_t i = 0; i < 300; ++i)
+        ASSERT_EQ(dev.received[i], std::uint8_t(i * 13 + 1));
+    // ...then 200 from the second.
+    for (std::uint32_t i = 0; i < 200; ++i)
+        ASSERT_EQ(dev.received[300 + i], std::uint8_t(i * 13 + 1));
+}
+
+TEST_F(EngineFixture, RemainingCountsDown)
+{
+    fillMemory(0, 1024);
+    engine.start(toDeviceDesc(0, 1024));
+    EXPECT_EQ(engine.remaining(), 1024u);
+    // Step a few events; remaining must be non-increasing to zero.
+    std::uint32_t last = engine.remaining();
+    while (eq.step()) {
+        EXPECT_LE(engine.remaining(), last);
+        last = engine.remaining();
+    }
+    EXPECT_EQ(engine.remaining(), 0u);
+}
+
+TEST_F(EngineFixture, PageBusyCoversWholeRange)
+{
+    fillMemory(0x1000, 8192);
+    TransferDesc d;
+    d.toDevice = true;
+    d.segments = {Segment{0x1000, 8192}}; // pages 1 and 2 (and 3's head)
+    engine.start(std::move(d));
+    EXPECT_FALSE(engine.pageBusy(0)) << "page 0 ends where range starts";
+    EXPECT_TRUE(engine.pageBusy(0x1000));
+    EXPECT_TRUE(engine.pageBusy(0x2000));
+    EXPECT_FALSE(engine.pageBusy(0x8000));
+    eq.run();
+    EXPECT_FALSE(engine.pageBusy(0x2000)) << "idle engine holds nothing";
+}
+
+TEST_F(EngineFixture, StartWhileBusyPanics)
+{
+    fillMemory(0, 256);
+    engine.start(toDeviceDesc(0, 256));
+    EXPECT_THROW(engine.start(toDeviceDesc(0, 256)), PanicError);
+    eq.run();
+}
+
+TEST_F(EngineFixture, RejectsEmptyDescriptors)
+{
+    TransferDesc d;
+    d.toDevice = true;
+    EXPECT_THROW(engine.start(std::move(d)), PanicError);
+    TransferDesc z;
+    z.toDevice = true;
+    z.segments = {Segment{0, 0}};
+    EXPECT_THROW(engine.start(std::move(z)), PanicError);
+}
+
+TEST_F(EngineFixture, DeviceLifecycleHooksFire)
+{
+    fillMemory(0, 128);
+    engine.start(toDeviceDesc(0, 128));
+    EXPECT_EQ(dev.startCount, 1u);
+    EXPECT_EQ(dev.finishCount, 0u);
+    eq.run();
+    EXPECT_EQ(dev.finishCount, 1u);
+}
+
+TEST_F(EngineFixture, BackToBackTransfersFromCompletion)
+{
+    // The controller starts the next queued request from onComplete;
+    // the engine must support that reentrancy.
+    fillMemory(0, 512);
+    int chain = 0;
+    TransferDesc d2 = toDeviceDesc(0x100, 128);
+    d2.onComplete = [&] { ++chain; };
+    TransferDesc d1 = toDeviceDesc(0, 128);
+    d1.onComplete = [&, d2 = std::move(d2)]() mutable {
+        ++chain;
+        engine.start(std::move(d2));
+    };
+    engine.start(std::move(d1));
+    eq.run();
+    EXPECT_EQ(chain, 2);
+    EXPECT_EQ(dev.received.size(), 256u);
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the Section 7 two-queue design: "Implementing just two
+ * queues, with the higher priority queue reserved for the system,
+ * would certainly be useful."
+ */
+
+#include <gtest/gtest.h>
+
+#include "dma/udma_controller.hh"
+#include "mock_device.hh"
+
+using namespace shrimp;
+using namespace shrimp::dma;
+
+namespace
+{
+
+struct PrioFixture : ::testing::Test
+{
+    sim::EventQueue eq;
+    sim::MachineParams params;
+    vm::AddressLayout layout{1 << 20, 4096, 1};
+    mem::PhysicalMemory memory{1 << 20, 4096};
+    bus::IoBus bus{eq, params};
+    test::MockDevice dev;
+    UdmaController ctrl{eq, params, layout, memory, bus,
+                        dev, 0,      4,      2}; // user 4, system 2
+
+    void
+    userPair(Addr mem_real, Addr dev_off, std::uint32_t count)
+    {
+        Addr dst = layout.devProxyBase(0) + dev_off;
+        ctrl.proxyStore(layout.decode(dst), dst,
+                        std::int64_t(count));
+        Addr src = layout.proxy(mem_real, 0);
+        (void)ctrl.proxyLoad(layout.decode(src), src);
+    }
+};
+
+} // namespace
+
+TEST_F(PrioFixture, IdleSystemRequestStartsImmediately)
+{
+    bool done = false;
+    EXPECT_TRUE(ctrl.systemRequest(true, 0x1000, 0, 256,
+                                   [&] { done = true; }));
+    EXPECT_EQ(ctrl.state(), UdmaController::State::Transferring);
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(dev.received.size(), 256u);
+}
+
+TEST_F(PrioFixture, SystemRequestsJumpUserQueue)
+{
+    // Start one user transfer and queue two more.
+    userPair(0x0000, 100 * 4096, 4096);
+    userPair(0x1000, 200 * 4096, 4096);
+    userPair(0x2000, 300 * 4096, 4096);
+    EXPECT_EQ(ctrl.queuedRequests(), 2u);
+
+    // The kernel submits a paging transfer: it must run right after
+    // the in-flight user transfer, before the queued ones.
+    EXPECT_TRUE(ctrl.systemRequest(true, 0x8000, 999 * 4096, 512));
+    EXPECT_EQ(ctrl.queuedSystemRequests(), 1u);
+
+    eq.run();
+    // The device records one offset per 256-byte chunk; the order of
+    // each transfer's *first* chunk gives the service order.
+    auto first_chunk_at = [&](Addr base) {
+        for (std::size_t i = 0; i < dev.pushOffsets.size(); ++i) {
+            if (dev.pushOffsets[i] == base)
+                return i;
+        }
+        ADD_FAILURE() << "transfer at base " << base << " never ran";
+        return std::size_t(0);
+    };
+    std::size_t user1 = first_chunk_at(100 * 4096);
+    std::size_t sys = first_chunk_at(999 * 4096);
+    std::size_t user2 = first_chunk_at(200 * 4096);
+    std::size_t user3 = first_chunk_at(300 * 4096);
+    EXPECT_LT(user1, sys);
+    EXPECT_LT(sys, user2)
+        << "system request served before queued user requests";
+    EXPECT_LT(user2, user3);
+}
+
+TEST_F(PrioFixture, SystemQueueDepthEnforced)
+{
+    userPair(0x0000, 0, 4096); // engine busy
+    EXPECT_TRUE(ctrl.systemRequest(true, 0x8000, 4096, 64));
+    EXPECT_TRUE(ctrl.systemRequest(true, 0x9000, 8192, 64));
+    EXPECT_FALSE(ctrl.systemRequest(true, 0xA000, 12288, 64))
+        << "system queue depth is 2";
+    eq.run();
+}
+
+TEST_F(PrioFixture, SystemRequestPagesCountForI4)
+{
+    userPair(0x0000, 0, 4096);
+    EXPECT_TRUE(ctrl.systemRequest(false, 0x8000, 4096, 64));
+    EXPECT_TRUE(ctrl.pageBusy(0x8000))
+        << "queued system request holds its page";
+    eq.run();
+    EXPECT_FALSE(ctrl.pageBusy(0x8000));
+}
+
+TEST_F(PrioFixture, CompletionCallbacksFireInOrder)
+{
+    std::vector<int> order;
+    userPair(0x0000, 0, 4096);
+    ctrl.systemRequest(true, 0x8000, 4096, 64,
+                       [&] { order.push_back(1); });
+    ctrl.systemRequest(true, 0x9000, 8192, 64,
+                       [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(ctrl.state(), UdmaController::State::Idle);
+}

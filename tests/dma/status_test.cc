@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the UDMA status word (paper Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dma/status.hh"
+
+using namespace shrimp;
+using namespace shrimp::dma;
+
+TEST(Status, DefaultIsFailedInitiation)
+{
+    Status st;
+    auto w = st.pack();
+    EXPECT_TRUE(w & status_bits::initiation);
+    EXPECT_FALSE(loadStartedTransfer(w));
+}
+
+TEST(Status, SuccessfulInitiationHasZeroBit)
+{
+    Status st;
+    st.initiationFailed = false;
+    EXPECT_TRUE(loadStartedTransfer(st.pack()))
+        << "INITIATION FLAG is zero on success (Section 5)";
+}
+
+TEST(Status, PackUnpackRoundTripAllFlags)
+{
+    Status st;
+    st.initiationFailed = false;
+    st.transferring = true;
+    st.invalid = false;
+    st.match = true;
+    st.wrongSpace = true;
+    st.deviceError = device_error::alignment | device_error::range;
+    st.remainingBytes = 4096;
+    Status back = Status::unpack(st.pack());
+    EXPECT_EQ(back.initiationFailed, st.initiationFailed);
+    EXPECT_EQ(back.transferring, st.transferring);
+    EXPECT_EQ(back.invalid, st.invalid);
+    EXPECT_EQ(back.match, st.match);
+    EXPECT_EQ(back.wrongSpace, st.wrongSpace);
+    EXPECT_EQ(back.deviceError, st.deviceError);
+    EXPECT_EQ(back.remainingBytes, st.remainingBytes);
+}
+
+TEST(Status, MatchDrivesInFlightHelper)
+{
+    Status st;
+    st.match = true;
+    EXPECT_TRUE(loadSaysInFlight(st.pack()));
+    st.match = false;
+    EXPECT_FALSE(loadSaysInFlight(st.pack()));
+}
+
+TEST(Status, RemainingBytesWidth)
+{
+    Status st;
+    st.remainingBytes = 0xFFFFFF; // 24-bit field
+    EXPECT_EQ(Status::unpack(st.pack()).remainingBytes, 0xFFFFFFu);
+}
+
+TEST(Status, FieldsDoNotAlias)
+{
+    // Each flag must round-trip independently.
+    for (int bit = 0; bit < 5; ++bit) {
+        Status st;
+        st.initiationFailed = bit == 0;
+        st.transferring = bit == 1;
+        st.invalid = bit == 2;
+        st.match = bit == 3;
+        st.wrongSpace = bit == 4;
+        Status back = Status::unpack(st.pack());
+        EXPECT_EQ(back.initiationFailed, bit == 0);
+        EXPECT_EQ(back.transferring, bit == 1);
+        EXPECT_EQ(back.invalid, bit == 2);
+        EXPECT_EQ(back.match, bit == 3);
+        EXPECT_EQ(back.wrongSpace, bit == 4);
+    }
+}
+
+class StatusRemainingSweep
+    : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(StatusRemainingSweep, RoundTrips)
+{
+    Status st;
+    st.remainingBytes = GetParam();
+    st.deviceError = 0xAB;
+    Status back = Status::unpack(st.pack());
+    EXPECT_EQ(back.remainingBytes, GetParam());
+    EXPECT_EQ(back.deviceError, 0xAB);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, StatusRemainingSweep,
+                         ::testing::Values(0u, 1u, 4u, 511u, 4096u,
+                                           65536u, 0xFFFFFFu));

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Multi-device nodes: NI + frame buffer + disk behind three UDMA
+ * controllers on one node, driven concurrently by one process and by
+ * several processes, all sharing the same EISA bus and the same
+ * kernel invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+namespace
+{
+
+SystemConfig
+triConfig()
+{
+    SystemConfig cfg;
+    cfg.nodes = 2;
+    cfg.node.memBytes = 4 << 20;
+    DeviceConfig ni;
+    ni.kind = DeviceKind::ShrimpNi;
+    DeviceConfig fb;
+    fb.kind = DeviceKind::FrameBuffer;
+    fb.fbWidth = 128;
+    fb.fbHeight = 128;
+    DeviceConfig disk;
+    disk.kind = DeviceKind::Disk;
+    disk.diskBytes = 1 << 20;
+    cfg.node.devices = {ni, fb, disk};
+    return cfg;
+}
+
+} // namespace
+
+TEST(MultiDevice, ThreeControllersServeOneProcess)
+{
+    System sys(triConfig());
+    auto &node = sys.node(0);
+    auto &peer = sys.node(1);
+
+    struct Shared
+    {
+        std::vector<Addr> rxPages;
+        bool exported = false;
+    } shared;
+
+    peer.kernel().spawn(
+        "receiver", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            shared.rxPages = co_await sysExportRange(ctx, buf, 4096);
+            shared.exported = true;
+            co_await pollWord(ctx, buf, 0xAAAA);
+        });
+
+    node.kernel().spawn(
+        "worker", [&](os::UserContext &ctx) -> sim::ProcTask {
+            const unsigned niDev = 0, fbDev = 1, diskDev = 2;
+            Addr buf = co_await ctx.sysAllocMemory(3 * 4096);
+            co_await ctx.store(buf, 0xAAAA);          // to the net
+            co_await ctx.store(buf + 4096, 0xBBBB);   // to the fb
+            co_await ctx.store(buf + 8192, 0xCCCC);   // to the disk
+
+            while (!shared.exported)
+                co_await ctx.compute(500);
+            Addr niwin = co_await sysMapRemoteRange(
+                ctx, niDev, *node.ni(), peer.id(), shared.rxPages);
+            Addr fbwin =
+                co_await ctx.sysMapDeviceProxy(fbDev, 0, 1, true);
+            Addr dkwin =
+                co_await ctx.sysMapDeviceProxy(diskDev, 0, 1, true);
+
+            // Fire all three without waiting in between: each
+            // controller has its own engine; they interleave on the
+            // shared bus.
+            co_await udmaTransfer(ctx, niDev, niwin, buf, 64, false);
+            co_await udmaTransfer(ctx, fbDev, fbwin, buf + 4096, 64,
+                                  false);
+            co_await udmaTransfer(ctx, diskDev, dkwin, buf + 8192,
+                                  64, false);
+            // Now wait for each.
+            co_await udmaWait(ctx, ctx.proxyAddr(buf, niDev));
+            co_await udmaWait(ctx, ctx.proxyAddr(buf + 4096, fbDev));
+            co_await udmaWait(ctx, ctx.proxyAddr(buf + 8192, diskDev));
+        });
+
+    sys.runUntilAllDone(Tick(120) * tickSec);
+    sys.run();
+
+    EXPECT_EQ(node.frameBuffer()->pixel(0, 0), 0xBBBBu);
+    std::uint32_t disk_word = 0;
+    node.disk()->readImage(0, &disk_word, 4);
+    EXPECT_EQ(disk_word, 0xCCCCu);
+    EXPECT_EQ(peer.ni()->messagesDelivered(), 1u);
+    // Three independent controllers ran one transfer each.
+    EXPECT_EQ(node.controller(0)->transfersStarted(), 1u);
+    EXPECT_EQ(node.controller(1)->transfersStarted(), 1u);
+    EXPECT_EQ(node.controller(2)->transfersStarted(), 1u);
+}
+
+TEST(MultiDevice, ProxySpacesOfDevicesAreDisjoint)
+{
+    System sys(triConfig());
+    auto &node = sys.node(0);
+    bool checked = false;
+    node.kernel().spawn(
+        "p", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 1);
+            // The same real address has a distinct proxy per device.
+            Addr p0 = ctx.proxyAddr(buf, 0);
+            Addr p1 = ctx.proxyAddr(buf, 1);
+            Addr p2 = ctx.proxyAddr(buf, 2);
+            EXPECT_NE(p0, p1);
+            EXPECT_NE(p1, p2);
+            // A store latched on device 1 is invisible to device 2.
+            Addr fbwin =
+                co_await ctx.sysMapDeviceProxy(1, 0, 1, true);
+            co_await ctx.store(fbwin, 256);
+            EXPECT_EQ(node.controller(1)->state(),
+                      dma::UdmaController::State::DestLoaded);
+            EXPECT_EQ(node.controller(2)->state(),
+                      dma::UdmaController::State::Idle);
+            // And device 2's LOAD cannot consume it.
+            std::uint64_t w = co_await ctx.load(p2);
+            EXPECT_TRUE(dma::Status::unpack(w).initiationFailed);
+            EXPECT_EQ(node.controller(1)->transfersStarted(), 0u);
+            // Clean up the latched store.
+            co_await ctx.store(fbwin, -1);
+            checked = true;
+        });
+    sys.runUntilAllDone();
+    EXPECT_TRUE(checked);
+}
+
+TEST(MultiDevice, ContextSwitchInvalsEveryController)
+{
+    System sys(triConfig());
+    auto &node = sys.node(0);
+    node.kernel().spawn(
+        "a", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr fbwin =
+                co_await ctx.sysMapDeviceProxy(1, 0, 1, true);
+            Addr dkwin =
+                co_await ctx.sysMapDeviceProxy(2, 0, 1, true);
+            co_await ctx.store(fbwin, 64); // latch on fb
+            co_await ctx.store(dkwin, 64); // latch on disk
+            co_await ctx.yield();          // switch: both Inval'd
+            EXPECT_EQ(node.controller(1)->state(),
+                      dma::UdmaController::State::Idle);
+            EXPECT_EQ(node.controller(2)->state(),
+                      dma::UdmaController::State::Idle);
+        });
+    node.kernel().spawn(
+        "b", [&](os::UserContext &ctx) -> sim::ProcTask {
+            co_await ctx.compute(10);
+        });
+    sys.runUntilAllDone();
+    EXPECT_GE(node.controller(1)->invalsApplied(), 1u);
+    EXPECT_GE(node.controller(2)->invalsApplied(), 1u);
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the swap area.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/backing_store.hh"
+
+using namespace shrimp;
+using namespace shrimp::mem;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+pattern(std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(4096);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = std::uint8_t(seed + i);
+    return v;
+}
+
+} // namespace
+
+TEST(BackingStore, StoreLoadRoundTrip)
+{
+    BackingStore bs(4096);
+    auto in = pattern(7);
+    bs.store(1, 42, in.data());
+    EXPECT_TRUE(bs.contains(1, 42));
+    std::vector<std::uint8_t> out(4096);
+    bs.load(1, 42, out.data());
+    EXPECT_EQ(in, out);
+}
+
+TEST(BackingStore, MissingPageIsAbsent)
+{
+    BackingStore bs(4096);
+    EXPECT_FALSE(bs.contains(1, 42));
+    std::vector<std::uint8_t> out(4096);
+    EXPECT_THROW(bs.load(1, 42, out.data()), PanicError);
+}
+
+TEST(BackingStore, KeysAreParPidAndVpn)
+{
+    BackingStore bs(4096);
+    bs.store(1, 5, pattern(1).data());
+    EXPECT_FALSE(bs.contains(2, 5));
+    EXPECT_FALSE(bs.contains(1, 6));
+    EXPECT_TRUE(bs.contains(1, 5));
+}
+
+TEST(BackingStore, OverwriteReplacesContent)
+{
+    BackingStore bs(4096);
+    bs.store(1, 5, pattern(1).data());
+    auto newer = pattern(99);
+    bs.store(1, 5, newer.data());
+    std::vector<std::uint8_t> out(4096);
+    bs.load(1, 5, out.data());
+    EXPECT_EQ(out, newer);
+}
+
+TEST(BackingStore, DropProcessRemovesOnlyThatPid)
+{
+    BackingStore bs(4096);
+    bs.store(1, 5, pattern(1).data());
+    bs.store(1, 6, pattern(2).data());
+    bs.store(2, 5, pattern(3).data());
+    bs.dropProcess(1);
+    EXPECT_FALSE(bs.contains(1, 5));
+    EXPECT_FALSE(bs.contains(1, 6));
+    EXPECT_TRUE(bs.contains(2, 5));
+}
+
+TEST(BackingStore, CountsTraffic)
+{
+    BackingStore bs(4096);
+    auto p = pattern(1);
+    std::vector<std::uint8_t> out(4096);
+    bs.store(1, 1, p.data());
+    bs.store(1, 2, p.data());
+    bs.load(1, 1, out.data());
+    EXPECT_EQ(bs.pageWrites(), 2u);
+    EXPECT_EQ(bs.pageReads(), 1u);
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the collective operations over UDMA channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/system.hh"
+#include "msg/collective.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+namespace
+{
+
+SystemConfig
+meshConfig(unsigned nodes)
+{
+    SystemConfig cfg;
+    cfg.nodes = nodes;
+    cfg.node.memBytes = 8 << 20;
+    cfg.params.quantumUs = 500.0;
+    cfg.node.devices.push_back(DeviceConfig{});
+    return cfg;
+}
+
+} // namespace
+
+TEST(Collective, SetupBuildsFullMesh)
+{
+    constexpr unsigned n = 3;
+    System sys(meshConfig(n));
+    msg::CommRendezvous rv(n);
+    int ready = 0;
+    for (unsigned r = 0; r < n; ++r) {
+        auto *node = &sys.node(r);
+        node->kernel().spawn(
+            "rank" + std::to_string(r),
+            [&, r, node](os::UserContext &ctx) -> sim::ProcTask {
+                msg::Communicator comm(ctx, 0, *node->ni(), r, rv);
+                bool ok = co_await comm.setup();
+                EXPECT_TRUE(ok) << "rank " << r;
+                if (ok)
+                    ++ready;
+            });
+    }
+    sys.runUntilAllDone(Tick(120) * tickSec);
+    EXPECT_EQ(ready, int(n));
+}
+
+TEST(Collective, BarrierSynchronizes)
+{
+    constexpr unsigned n = 4;
+    constexpr int rounds = 5;
+    System sys(meshConfig(n));
+    msg::CommRendezvous rv(n);
+    // entered[k] counts ranks that entered barrier round k; a rank
+    // may only leave round k once all n entered it.
+    std::vector<int> entered(rounds, 0);
+    bool violation = false;
+
+    for (unsigned r = 0; r < n; ++r) {
+        auto *node = &sys.node(r);
+        node->kernel().spawn(
+            "rank" + std::to_string(r),
+            [&, r, node](os::UserContext &ctx) -> sim::ProcTask {
+                msg::Communicator comm(ctx, 0, *node->ni(), r, rv);
+                EXPECT_TRUE(co_await comm.setup());
+                for (int k = 0; k < rounds; ++k) {
+                    ++entered[k];
+                    co_await comm.barrier();
+                    if (entered[k] != int(n))
+                        violation = true;
+                }
+            });
+    }
+    sys.runUntilAllDone(Tick(300) * tickSec);
+    EXPECT_FALSE(violation)
+        << "a rank left a barrier before everyone entered";
+    for (int k = 0; k < rounds; ++k)
+        EXPECT_EQ(entered[k], int(n));
+}
+
+TEST(Collective, BroadcastDeliversContent)
+{
+    constexpr unsigned n = 4;
+    constexpr std::uint32_t bytes = 10000; // multi-chunk
+    System sys(meshConfig(n));
+    msg::CommRendezvous rv(n);
+    std::vector<std::vector<std::uint8_t>> got(n);
+
+    for (unsigned r = 0; r < n; ++r) {
+        auto *node = &sys.node(r);
+        node->kernel().spawn(
+            "rank" + std::to_string(r),
+            [&, r, node](os::UserContext &ctx) -> sim::ProcTask {
+                msg::Communicator comm(ctx, 0, *node->ni(), r, rv);
+                EXPECT_TRUE(co_await comm.setup());
+                Addr buf = co_await ctx.sysAllocMemory(bytes + 8);
+                if (r == 1) { // root
+                    std::vector<std::uint8_t> data(bytes);
+                    for (std::uint32_t i = 0; i < bytes; ++i)
+                        data[i] = std::uint8_t(i * 11 + 3);
+                    ctx.kernel().pokeBytes(ctx.process(), buf,
+                                           data.data(), bytes);
+                }
+                co_await comm.broadcast(1, buf, bytes);
+                got[r].resize(bytes);
+                ctx.kernel().peekBytes(ctx.process(), buf,
+                                       got[r].data(), bytes);
+            });
+    }
+    sys.runUntilAllDone(Tick(300) * tickSec);
+    for (unsigned r = 0; r < n; ++r) {
+        ASSERT_EQ(got[r].size(), bytes) << "rank " << r;
+        for (std::uint32_t i = 0; i < bytes; ++i)
+            ASSERT_EQ(got[r][i], std::uint8_t(i * 11 + 3))
+                << "rank " << r << " byte " << i;
+    }
+}
+
+TEST(Collective, AllReduceSumsEverybody)
+{
+    constexpr unsigned n = 4;
+    System sys(meshConfig(n));
+    msg::CommRendezvous rv(n);
+    std::vector<std::uint64_t> results(n, 0);
+
+    for (unsigned r = 0; r < n; ++r) {
+        auto *node = &sys.node(r);
+        node->kernel().spawn(
+            "rank" + std::to_string(r),
+            [&, r, node](os::UserContext &ctx) -> sim::ProcTask {
+                msg::Communicator comm(ctx, 0, *node->ni(), r, rv);
+                EXPECT_TRUE(co_await comm.setup());
+                results[r] =
+                    co_await comm.allReduceSum(100 * (r + 1));
+            });
+    }
+    sys.runUntilAllDone(Tick(300) * tickSec);
+    for (unsigned r = 0; r < n; ++r)
+        EXPECT_EQ(results[r], 100u + 200 + 300 + 400)
+            << "rank " << r;
+}
+
+TEST(Collective, PointToPointThroughMesh)
+{
+    constexpr unsigned n = 3;
+    System sys(meshConfig(n));
+    msg::CommRendezvous rv(n);
+    std::uint64_t relay_result = 0;
+
+    // 0 -> 1 -> 2, each hop increments.
+    for (unsigned r = 0; r < n; ++r) {
+        auto *node = &sys.node(r);
+        node->kernel().spawn(
+            "rank" + std::to_string(r),
+            [&, r, node](os::UserContext &ctx) -> sim::ProcTask {
+                msg::Communicator comm(ctx, 0, *node->ni(), r, rv);
+                EXPECT_TRUE(co_await comm.setup());
+                Addr buf = co_await ctx.sysAllocMemory(4096);
+                if (r == 0) {
+                    co_await ctx.store(buf, 1000);
+                    co_await comm.sendTo(1, buf, 8);
+                } else if (r == 1) {
+                    co_await comm.recvFrom(0, buf, 4096);
+                    std::uint64_t v = co_await ctx.load(buf);
+                    co_await ctx.store(buf, v + 1);
+                    co_await comm.sendTo(2, buf, 8);
+                } else {
+                    co_await comm.recvFrom(1, buf, 4096);
+                    std::uint64_t v = co_await ctx.load(buf);
+                    relay_result = v + 1;
+                }
+            });
+    }
+    sys.runUntilAllDone(Tick(300) * tickSec);
+    EXPECT_EQ(relay_result, 1002u);
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property test: the VM system against a flat reference model.
+ *
+ * A process performs thousands of random stores/loads over a working
+ * set several times larger than physical memory, with random forced
+ * evictions and page cleanings injected between operations. A plain
+ * host-side map of va -> value is the oracle: whatever was stored
+ * must read back, through any amount of page-out/page-in, proxy
+ * invalidation, and dirty/clean cycling. Parameterized over seeds and
+ * memory sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "core/system.hh"
+#include "sim/random.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+namespace
+{
+
+struct FuzzParam
+{
+    std::uint64_t seed;
+    std::uint64_t memKb; ///< physical memory
+};
+
+class PagingFuzz : public ::testing::TestWithParam<FuzzParam>
+{};
+
+} // namespace
+
+TEST_P(PagingFuzz, ContentSurvivesThrashing)
+{
+    const auto param = GetParam();
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = param.memKb << 10;
+    DeviceConfig fb;
+    fb.kind = DeviceKind::FrameBuffer;
+    cfg.node.devices.push_back(fb);
+    System sys(cfg);
+
+    constexpr std::uint64_t working_pages = 24;
+    bool done = false;
+
+    sys.node(0).kernel().spawn(
+        "fuzzer", [&](os::UserContext &ctx) -> sim::ProcTask {
+            sim::Random rng(param.seed);
+            auto &k = ctx.kernel();
+            Addr buf =
+                co_await ctx.sysAllocMemory(working_pages * 4096);
+            std::map<Addr, std::uint64_t> oracle;
+
+            for (int step = 0; step < 1200; ++step) {
+                std::uint64_t dice = rng.below(100);
+                Addr va = buf
+                          + rng.below(working_pages) * 4096
+                          + rng.below(512) * 8;
+                if (dice < 45) {
+                    std::uint64_t v = rng.next();
+                    co_await ctx.store(va, v);
+                    oracle[va] = v;
+                } else if (dice < 85) {
+                    std::uint64_t v = co_await ctx.load(va);
+                    auto it = oracle.find(va);
+                    std::uint64_t expect =
+                        it == oracle.end() ? 0 : it->second;
+                    EXPECT_EQ(v, expect)
+                        << "va=" << va << " step=" << step
+                        << " seed=" << param.seed;
+                } else if (dice < 95) {
+                    Tick lat = 0;
+                    (void)k.evictOneFrame(lat);
+                } else {
+                    Tick lat = 0;
+                    (void)k.cleanPage(ctx.process(), va, lat);
+                }
+            }
+
+            // Full sweep at the end.
+            for (const auto &[va, v] : oracle) {
+                std::uint64_t got = co_await ctx.load(va);
+                EXPECT_EQ(got, v) << "final sweep va=" << va;
+            }
+            done = true;
+        });
+
+    sys.runUntilAllDone(Tick(3000) * tickSec);
+    EXPECT_TRUE(done);
+    // With the working set over-committed, paging must have happened.
+    if (param.memKb < working_pages * 4) {
+        EXPECT_GT(sys.node(0).kernel().evictions(), 0u);
+        EXPECT_GT(sys.node(0).kernel().backingStore().pageReads(),
+                  0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, PagingFuzz,
+    ::testing::Values(FuzzParam{1, 48}, FuzzParam{2, 48},
+                      FuzzParam{3, 64}, FuzzParam{4, 32},
+                      FuzzParam{5, 256}),
+    [](const auto &info) {
+        return "seed" + std::to_string(info.param.seed) + "_mem"
+               + std::to_string(info.param.memKb) + "k";
+    });

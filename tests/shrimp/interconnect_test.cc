@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the backplane interconnect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/io_bus.hh"
+#include "mem/physical_memory.hh"
+#include "shrimp/network_interface.hh"
+
+using namespace shrimp;
+using namespace shrimp::net;
+
+namespace
+{
+
+struct NetFixture : ::testing::Test
+{
+    sim::EventQueue eq;
+    sim::MachineParams params;
+    Interconnect net{eq, params};
+};
+
+} // namespace
+
+TEST_F(NetFixture, UnknownNodePanics)
+{
+    EXPECT_THROW(net.ni(3), PanicError);
+    EXPECT_FALSE(net.hasNode(3));
+}
+
+TEST_F(NetFixture, AttachAndLookup)
+{
+    mem::PhysicalMemory mem(1 << 20, 4096);
+    bus::IoBus bus(eq, params);
+    NetworkInterface ni(eq, params, 5, mem, bus, net, 4096);
+    EXPECT_TRUE(net.hasNode(5));
+    EXPECT_EQ(net.ni(5), &ni);
+}
+
+TEST_F(NetFixture, DoubleAttachPanics)
+{
+    mem::PhysicalMemory mem(1 << 20, 4096);
+    bus::IoBus bus(eq, params);
+    NetworkInterface ni(eq, params, 5, mem, bus, net, 4096);
+    EXPECT_THROW(net.attach(5, &ni), PanicError);
+}
+
+TEST_F(NetFixture, LinkSerializesPerSource)
+{
+    Tick t1 = net.acquireLink(0, 2000); // 2000 B at 200 MB/s = 10 us
+    Tick t2 = net.acquireLink(0, 2000);
+    EXPECT_NEAR(double(t1), 10.0 * tickUs, double(tickNs));
+    EXPECT_NEAR(double(t2), 20.0 * tickUs, double(tickNs));
+}
+
+TEST_F(NetFixture, DistinctSourcesDoNotSerialize)
+{
+    Tick t1 = net.acquireLink(0, 2000);
+    Tick t2 = net.acquireLink(1, 2000);
+    EXPECT_EQ(t1, t2) << "a crossbar: each node has its own link";
+}
+
+TEST_F(NetFixture, TracksRoutedBytes)
+{
+    net.acquireLink(0, 100);
+    net.acquireLink(1, 250);
+    EXPECT_EQ(net.bytesRouted(), 350u);
+}
+
+TEST_F(NetFixture, HopLatencyFromParams)
+{
+    EXPECT_EQ(net.hopLatency(), Tick(params.linkLatencyNs * tickNs));
+}

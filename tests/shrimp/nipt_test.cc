@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the Network Interface Page Table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "shrimp/nipt.hh"
+
+using namespace shrimp;
+using namespace shrimp::net;
+
+TEST(Nipt, Has32kEntries)
+{
+    EXPECT_EQ(Nipt::numEntries, 32768u)
+        << "indexed with 15 bits (paper Section 8)";
+}
+
+TEST(Nipt, StartsInvalid)
+{
+    Nipt t;
+    EXPECT_FALSE(t.get(0).valid);
+    EXPECT_FALSE(t.get(Nipt::numEntries - 1).valid);
+    EXPECT_EQ(t.validEntries(), 0u);
+}
+
+TEST(Nipt, SetGetClear)
+{
+    Nipt t;
+    t.set(100, 3, 0x55);
+    const NiptEntry &e = t.get(100);
+    EXPECT_TRUE(e.valid);
+    EXPECT_EQ(e.dstNode, 3u);
+    EXPECT_EQ(e.dstPage, 0x55u);
+    t.clear(100);
+    EXPECT_FALSE(t.get(100).valid);
+}
+
+TEST(Nipt, IndexWraps15Bits)
+{
+    Nipt t;
+    t.set(5, 1, 2);
+    // The hardware masks the page number to 15 bits.
+    EXPECT_TRUE(t.get(5 + Nipt::numEntries).valid);
+}
+
+TEST(Nipt, AllocateFindsFreeSlots)
+{
+    Nipt t;
+    std::size_t a = t.allocate();
+    t.set(a, 0, 0);
+    std::size_t b = t.allocate();
+    EXPECT_NE(a, b);
+    t.set(b, 0, 0);
+    EXPECT_EQ(t.validEntries(), 2u);
+}
+
+TEST(Nipt, AllocateRunIsContiguous)
+{
+    Nipt t;
+    std::size_t r = t.allocateRun(8);
+    ASSERT_LT(r, Nipt::numEntries);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_FALSE(t.get(r + i).valid);
+}
+
+TEST(Nipt, AllocateRunSkipsFragments)
+{
+    Nipt t;
+    // Occupy entries 0..9 except a hole of 3 at 4..6.
+    for (std::size_t i = 0; i < 10; ++i) {
+        if (i < 4 || i > 6)
+            t.set(i, 0, 0);
+    }
+    EXPECT_EQ(t.allocateRun(3), 4u) << "exact-fit hole";
+    EXPECT_EQ(t.allocateRun(4), 10u) << "too big for the hole";
+}
+
+TEST(Nipt, AllocateRunFullTableFails)
+{
+    Nipt t;
+    EXPECT_EQ(t.allocateRun(0), Nipt::numEntries);
+    EXPECT_EQ(t.allocateRun(Nipt::numEntries + 1), Nipt::numEntries);
+    // Fill everything.
+    for (std::size_t i = 0; i < Nipt::numEntries; ++i)
+        t.set(i, 0, 0);
+    EXPECT_EQ(t.allocateRun(1), Nipt::numEntries);
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the coroutine plumbing (ProcTask, Task<T>).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/coro.hh"
+
+using namespace shrimp;
+using namespace shrimp::sim;
+
+namespace
+{
+
+/** Manual awaitable: records the handle so the test can resume it. */
+struct ManualAwait
+{
+    std::coroutine_handle<> *slot;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { *slot = h; }
+    void await_resume() const noexcept {}
+};
+
+} // namespace
+
+TEST(ProcTask, StartsSuspendedAndRunsOnResume)
+{
+    bool ran = false;
+    auto make = [&]() -> ProcTask {
+        ran = true;
+        co_return;
+    };
+    ProcTask t = make();
+    EXPECT_TRUE(t.valid());
+    EXPECT_FALSE(ran) << "initial_suspend must be suspend_always";
+    t.resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(ProcTask, OnDoneFiresAtCompletion)
+{
+    std::coroutine_handle<> h;
+    int done_count = 0;
+    auto make = [&]() -> ProcTask {
+        co_await ManualAwait{&h};
+        co_return;
+    };
+    ProcTask t = make();
+    t.setOnDone([&] { ++done_count; });
+    t.resume();
+    EXPECT_EQ(done_count, 0);
+    EXPECT_FALSE(t.done());
+    h.resume();
+    EXPECT_EQ(done_count, 1);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(ProcTask, CapturesAndRethrowsExceptions)
+{
+    auto make = []() -> ProcTask {
+        throw std::runtime_error("boom");
+        co_return;
+    };
+    ProcTask t = make();
+    t.resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_THROW(t.rethrowIfFailed(), std::runtime_error);
+}
+
+TEST(ProcTask, DestroyingSuspendedTaskIsSafe)
+{
+    std::coroutine_handle<> h;
+    bool finished = false;
+    {
+        auto make = [&]() -> ProcTask {
+            co_await ManualAwait{&h};
+            finished = true;
+        };
+        ProcTask t = make();
+        t.resume();
+        // t destroyed while suspended: the frame must be freed.
+    }
+    EXPECT_FALSE(finished);
+}
+
+TEST(ProcTask, MoveTransfersOwnership)
+{
+    auto make = []() -> ProcTask { co_return; };
+    ProcTask a = make();
+    ProcTask b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.resume();
+    EXPECT_TRUE(b.done());
+}
+
+TEST(TaskT, ReturnsValueThroughAwait)
+{
+    auto inner = []() -> Task<int> { co_return 42; };
+    int got = 0;
+    auto outer = [&]() -> ProcTask { got = co_await inner(); };
+    ProcTask t = outer();
+    t.resume();
+    EXPECT_EQ(got, 42);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(TaskT, ChainsThroughNestedTasks)
+{
+    auto leaf = [](int x) -> Task<int> { co_return x * 2; };
+    auto mid = [&](int x) -> Task<int> {
+        int a = co_await leaf(x);
+        int b = co_await leaf(a);
+        co_return a + b;
+    };
+    int got = 0;
+    auto outer = [&]() -> ProcTask { got = co_await mid(3); };
+    ProcTask t = outer();
+    t.resume();
+    EXPECT_EQ(got, 6 + 12);
+}
+
+TEST(TaskT, SuspensionInsideNestedTaskResumesWholeChain)
+{
+    std::coroutine_handle<> h;
+    auto leaf = [&]() -> Task<int> {
+        co_await ManualAwait{&h};
+        co_return 7;
+    };
+    int got = 0;
+    auto outer = [&]() -> ProcTask { got = co_await leaf(); };
+    ProcTask t = outer();
+    t.resume();
+    EXPECT_EQ(got, 0) << "chain should be suspended";
+    h.resume(); // resumes the leaf; symmetric transfer resumes outer
+    EXPECT_EQ(got, 7);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(TaskT, PropagatesExceptionsToAwaiter)
+{
+    auto leaf = []() -> Task<int> {
+        throw std::logic_error("inner");
+        co_return 0;
+    };
+    bool caught = false;
+    auto outer = [&]() -> ProcTask {
+        try {
+            (void)co_await leaf();
+        } catch (const std::logic_error &) {
+            caught = true;
+        }
+    };
+    ProcTask t = outer();
+    t.resume();
+    EXPECT_TRUE(caught);
+}
+
+TEST(TaskVoid, RunsAndResumesAwaiter)
+{
+    bool inner_ran = false;
+    auto leaf = [&]() -> Task<void> {
+        inner_ran = true;
+        co_return;
+    };
+    bool after = false;
+    auto outer = [&]() -> ProcTask {
+        co_await leaf();
+        after = true;
+    };
+    ProcTask t = outer();
+    t.resume();
+    EXPECT_TRUE(inner_ran);
+    EXPECT_TRUE(after);
+}
+
+TEST(TaskT, MovableValueTypes)
+{
+    auto leaf = []() -> Task<std::vector<int>> {
+        co_return std::vector<int>{1, 2, 3};
+    };
+    std::vector<int> got;
+    auto outer = [&]() -> ProcTask { got = co_await leaf(); };
+    ProcTask t = outer();
+    t.resume();
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}

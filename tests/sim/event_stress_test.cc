@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Stress/property tests for the event queue: heavy random scheduling
+ * with cancellation, ordering invariants, and timing monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace shrimp;
+using namespace shrimp::sim;
+
+TEST(EventStress, RandomScheduleExecutesInNondecreasingTimeOrder)
+{
+    EventQueue eq;
+    Random rng(1234);
+    Tick last = 0;
+    bool monotone = true;
+    std::uint64_t executed = 0;
+    for (int i = 0; i < 5000; ++i) {
+        Tick when = rng.below(1000000);
+        eq.schedule(when, "e", [&, when] {
+            monotone = monotone && eq.now() >= last
+                       && eq.now() == when;
+            last = eq.now();
+            ++executed;
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(executed, 5000u);
+}
+
+TEST(EventStress, RandomCancellationNeverFiresCancelled)
+{
+    EventQueue eq;
+    Random rng(99);
+    std::vector<EventHandle> handles;
+    std::vector<bool> cancelled(3000, false);
+    std::vector<bool> fired(3000, false);
+    for (int i = 0; i < 3000; ++i) {
+        handles.push_back(eq.schedule(
+            rng.between(1, 100000), "e", [&fired, i] {
+                fired[i] = true;
+            }));
+    }
+    for (int i = 0; i < 3000; ++i) {
+        if (rng.chance(0.4)) {
+            cancelled[i] = eq.deschedule(handles[i]);
+            EXPECT_TRUE(cancelled[i]);
+        }
+    }
+    eq.run();
+    for (int i = 0; i < 3000; ++i)
+        EXPECT_NE(fired[i], cancelled[i]) << "event " << i;
+}
+
+TEST(EventStress, CascadingSchedulesFromCallbacks)
+{
+    EventQueue eq;
+    Random rng(5);
+    std::uint64_t executed = 0;
+    std::function<void(int)> spawn = [&](int depth) {
+        ++executed;
+        if (depth <= 0)
+            return;
+        int fanout = int(rng.between(0, 2));
+        for (int i = 0; i < fanout; ++i) {
+            eq.scheduleIn(rng.between(1, 100), "cascade",
+                          [&spawn, depth] { spawn(depth - 1); });
+        }
+    };
+    eq.schedule(0, "root", [&] { spawn(14); });
+    eq.run();
+    EXPECT_GT(executed, 1u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventStress, PendingCountStaysConsistent)
+{
+    EventQueue eq;
+    Random rng(31);
+    std::size_t live = 0;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 1000; ++i) {
+        handles.push_back(eq.schedule(rng.between(1, 5000), "e", [] {}));
+        ++live;
+    }
+    for (int i = 0; i < 1000; i += 3) {
+        if (eq.deschedule(handles[i]))
+            --live;
+    }
+    EXPECT_EQ(eq.pendingEvents(), live);
+    while (eq.step())
+        --live;
+    EXPECT_EQ(live, 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventStress, LimitBoundaryIsExact)
+{
+    EventQueue eq;
+    int at_100 = 0, at_101 = 0;
+    eq.schedule(100, "a", [&] { ++at_100; });
+    eq.schedule(101, "b", [&] { ++at_101; });
+    eq.run(100);
+    EXPECT_EQ(at_100, 1) << "events at exactly the limit execute";
+    EXPECT_EQ(at_101, 0);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    eq.run();
+    EXPECT_EQ(at_101, 1);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for MachineParams derived-latency helpers and the
+ * calibration identities that anchor the reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/params.hh"
+
+using namespace shrimp;
+using namespace shrimp::sim;
+
+TEST(MachineParams, CpuCycleMatchesFrequency)
+{
+    MachineParams p;
+    // 60 MHz => 16666 ps (integer-truncated).
+    EXPECT_NEAR(double(p.cpuCycle()), 1e12 / 60e6, 1.0);
+}
+
+TEST(MachineParams, InstrTicksScalesLinearly)
+{
+    MachineParams p;
+    EXPECT_EQ(p.instrTicks(10), 10 * p.instrTicks(1));
+    EXPECT_EQ(p.instrTicks(0), 0u);
+}
+
+TEST(MachineParams, EisaBurstBandwidthIdentity)
+{
+    MachineParams p;
+    // 23 MB/s: 23 bytes take 1 us.
+    EXPECT_NEAR(double(p.eisaBurst(23)), double(tickUs), 2.0);
+    // Linear in size.
+    EXPECT_NEAR(double(p.eisaBurst(4096)),
+                4096.0 / p.eisaBurstBytesPerSec * 1e12, 2.0);
+}
+
+TEST(MachineParams, LinkFasterThanEisa)
+{
+    MachineParams p;
+    EXPECT_LT(p.linkTransfer(4096), p.eisaBurst(4096))
+        << "the backplane must outrun the EISA bus, as in SHRIMP";
+}
+
+TEST(MachineParams, InitiationCalibratesToPaper)
+{
+    MachineParams p;
+    // Two uncached I/O references plus the alignment-check software
+    // should land at the paper's ~2.8 us.
+    Tick t = 2 * p.ioAccess()
+             + p.instrTicks(p.udmaInitiateSoftwareInstr);
+    EXPECT_NEAR(ticksToUs(t), 2.8, 0.1);
+}
+
+TEST(MachineParams, TraditionalPathIsHundredsOfInstructions)
+{
+    MachineParams p;
+    std::uint32_t one_page =
+        p.syscallInstr + p.dmaTranslateInstrPerPage
+        + p.dmaPinInstrPerPage + p.dmaDescriptorInstr
+        + p.dmaInterruptInstr + p.dmaUnpinInstrPerPage;
+    EXPECT_GE(one_page, 1000u);
+    EXPECT_LE(one_page, 5000u);
+}
+
+TEST(MachineParams, TimeUnitConversions)
+{
+    EXPECT_EQ(secondsToTicks(1.0), tickSec);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(tickSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToUs(tickUs * 5), 5.0);
+}
+
+TEST(MachineParams, QuantumAndSwapAreSane)
+{
+    MachineParams p;
+    EXPECT_GT(p.quantum(), p.instrTicks(p.contextSwitchInstr) * 10)
+        << "quantum must dwarf the switch cost";
+    EXPECT_GT(p.swapPage(), p.memAccess() * 1000)
+        << "swap must dwarf memory access";
+}

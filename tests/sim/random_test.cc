@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hh"
+
+using namespace shrimp;
+using namespace shrimp::sim;
+
+TEST(Random, DeterministicFromSeed)
+{
+    Random a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, BelowZeroPanics)
+{
+    Random r(7);
+    EXPECT_THROW(r.below(0), PanicError);
+}
+
+TEST(Random, BetweenInclusive)
+{
+    Random r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.between(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u) << "all values in range should occur";
+}
+
+TEST(Random, BetweenBadRangePanics)
+{
+    Random r(9);
+    EXPECT_THROW(r.between(8, 5), PanicError);
+}
+
+TEST(Random, UnitInHalfOpenInterval)
+{
+    Random r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, ChanceRoughlyCalibrated)
+{
+    Random r(13);
+    int hits = 0;
+    constexpr int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(double(hits) / trials, 0.25, 0.03);
+}
+
+TEST(Random, NextCoversHighBits)
+{
+    Random r(17);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 64; ++i)
+        acc |= r.next();
+    EXPECT_EQ(acc >> 56, 0xffu) << "high byte should see all bits";
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the debug-trace facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+#include "sim/trace.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+TEST(Trace, DisabledByDefault)
+{
+    EXPECT_FALSE(trace::enabled(trace::Category::Dma));
+    // Logging with no sink must be a no-op (and not crash).
+    trace::log(0, trace::Category::Dma, "nothing");
+}
+
+TEST(Trace, CaptureEnablesAndRestores)
+{
+    {
+        trace::Capture cap({trace::Category::Vm});
+        EXPECT_TRUE(trace::enabled(trace::Category::Vm));
+        EXPECT_FALSE(trace::enabled(trace::Category::Dma));
+        trace::log(123, trace::Category::Vm, "hello ", 42);
+        trace::log(124, trace::Category::Dma, "filtered");
+        EXPECT_TRUE(cap.contains("123: vm: hello 42"));
+        EXPECT_FALSE(cap.contains("filtered"));
+    }
+    EXPECT_FALSE(trace::enabled(trace::Category::Vm));
+}
+
+TEST(Trace, CategoryNames)
+{
+    EXPECT_STREQ(trace::categoryName(trace::Category::Dma), "dma");
+    EXPECT_STREQ(trace::categoryName(trace::Category::Ni), "ni");
+    EXPECT_STREQ(trace::categoryName(trace::Category::Bus), "bus");
+}
+
+TEST(Trace, SimulationEmitsTracePoints)
+{
+    trace::Capture cap({trace::Category::Dma, trace::Category::Os,
+                        trace::Category::Vm});
+
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = 4 << 20;
+    DeviceConfig fb;
+    fb.kind = DeviceKind::FrameBuffer;
+    cfg.node.devices.push_back(fb);
+    System sys(cfg);
+    sys.node(0).kernel().spawn(
+        "tracer", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 1);
+            Addr win = co_await ctx.sysMapDeviceProxy(0, 0, 1, true);
+            co_await udmaTransfer(ctx, 0, win, buf, 256, true);
+        });
+    sys.runUntilAllDone();
+
+    EXPECT_TRUE(cap.contains("os: switch to tracer"));
+    EXPECT_TRUE(cap.contains("memory fault"));
+    EXPECT_TRUE(cap.contains("proxy fault"));
+    EXPECT_TRUE(cap.contains("dma: udma0: start mem->dev"));
+    EXPECT_TRUE(cap.contains("count=256"));
+}
+
+TEST(Trace, NiTracePointsFire)
+{
+    trace::Capture cap({trace::Category::Ni});
+
+    SystemConfig cfg;
+    cfg.nodes = 2;
+    cfg.node.memBytes = 4 << 20;
+    cfg.node.devices.push_back(DeviceConfig{});
+    System sys(cfg);
+
+    struct Shared
+    {
+        std::vector<Addr> rxPages;
+        bool exported = false;
+    } shared;
+
+    sys.node(1).kernel().spawn(
+        "recv", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            shared.rxPages = co_await sysExportRange(ctx, buf, 4096);
+            shared.exported = true;
+            co_await pollWord(ctx, buf, 0x77);
+        });
+    auto &send = sys.node(0);
+    send.kernel().spawn(
+        "send", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 0x77);
+            while (!shared.exported)
+                co_await ctx.compute(500);
+            Addr proxy = co_await sysMapRemoteRange(
+                ctx, 0, *send.ni(), 1, shared.rxPages);
+            co_await udmaTransfer(ctx, 0, proxy, buf, 64, true);
+        });
+    sys.runUntilAllDone(Tick(30) * tickSec);
+    sys.run();
+
+    EXPECT_TRUE(cap.contains("deliberate update: 64 B -> node 1"));
+    EXPECT_TRUE(cap.contains("delivery complete from node 0"));
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the proxy-space address map (paper Figures 2/3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/layout.hh"
+
+using namespace shrimp;
+using namespace shrimp::vm;
+
+namespace
+{
+
+AddressLayout
+makeLayout()
+{
+    return AddressLayout(64 << 20, 4096, 3);
+}
+
+} // namespace
+
+TEST(AddressLayout, MemoryRegionDecodes)
+{
+    auto layout = makeLayout();
+    auto d = layout.decode(0x1234);
+    EXPECT_EQ(d.space, Space::Memory);
+    EXPECT_EQ(d.offset, 0x1234u);
+}
+
+TEST(AddressLayout, ProxyRoundTrip)
+{
+    auto layout = makeLayout();
+    for (unsigned dev = 0; dev < 3; ++dev) {
+        Addr real = 0xABC000 + dev;
+        Addr proxy = layout.proxy(real, dev);
+        EXPECT_EQ(layout.unproxy(proxy, dev), real);
+        auto d = layout.decode(proxy);
+        EXPECT_EQ(d.space, Space::MemProxy);
+        EXPECT_EQ(d.device, dev);
+        EXPECT_EQ(d.offset, real) << "PROXY^-1 is applied by decode";
+    }
+}
+
+TEST(AddressLayout, DeviceProxyRegionsAreDisjointPerDevice)
+{
+    auto layout = makeLayout();
+    for (unsigned dev = 0; dev < 3; ++dev) {
+        Addr a = layout.devProxyBase(dev) + 0x42;
+        auto d = layout.decode(a);
+        EXPECT_EQ(d.space, Space::DevProxy);
+        EXPECT_EQ(d.device, dev);
+        EXPECT_EQ(d.offset, 0x42u);
+    }
+    EXPECT_NE(layout.devProxyBase(0), layout.devProxyBase(1));
+    EXPECT_NE(layout.memProxyBase(0), layout.memProxyBase(1));
+}
+
+TEST(AddressLayout, BeyondLastDeviceIsInvalid)
+{
+    auto layout = makeLayout();
+    Addr past = AddressLayout::regionStride * (1 + 2 * 3);
+    EXPECT_EQ(layout.decode(past).space, Space::Invalid);
+}
+
+TEST(AddressLayout, PageHelpers)
+{
+    auto layout = makeLayout();
+    EXPECT_EQ(layout.pageOf(4096), 1u);
+    EXPECT_EQ(layout.pageOffset(4097), 1u);
+    EXPECT_EQ(layout.pageBase(8191), 4096u);
+    EXPECT_EQ(layout.bytesToPageEnd(4096), 4096u);
+    EXPECT_EQ(layout.bytesToPageEnd(4097), 4095u);
+}
+
+TEST(AddressLayout, ProxyOfPageBoundaryKeepsOffsets)
+{
+    auto layout = makeLayout();
+    Addr real = 5 * 4096 + 12;
+    Addr proxy = layout.proxy(real, 1);
+    EXPECT_EQ(layout.pageOffset(proxy), layout.pageOffset(real));
+}
+
+TEST(AddressLayout, RejectsOversizeMemory)
+{
+    EXPECT_THROW(AddressLayout(AddressLayout::regionStride + 1, 4096, 1),
+                 FatalError);
+}
+
+TEST(AddressLayout, RejectsNonPowerOfTwoPages)
+{
+    EXPECT_THROW(AddressLayout(1 << 20, 3000, 1), FatalError);
+}

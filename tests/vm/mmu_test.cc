@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the MMU: translation, permission checking, and
+ * hardware-managed referenced/dirty bits — the machinery UDMA borrows
+ * for protection (paper Section 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/mmu.hh"
+
+using namespace shrimp;
+using namespace shrimp::vm;
+
+namespace
+{
+
+struct MmuFixture : ::testing::Test
+{
+    AddressLayout layout{1 << 20, 4096, 1};
+    Mmu mmu{layout, 4};
+    PageTable pt;
+
+    void
+    SetUp() override
+    {
+        mmu.activate(&pt);
+    }
+
+    Pte &
+    map(std::uint64_t vpn, Addr frame, bool writable)
+    {
+        Pte p;
+        p.frameAddr = frame;
+        p.valid = true;
+        p.writable = writable;
+        return pt.install(vpn, p);
+    }
+};
+
+} // namespace
+
+TEST_F(MmuFixture, TranslatesWithOffset)
+{
+    map(5, 0x8000, true);
+    auto r = mmu.translate(5 * 4096 + 123, false);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.paddr, 0x8000u + 123);
+}
+
+TEST_F(MmuFixture, NotPresentFault)
+{
+    auto r = mmu.translate(5 * 4096, false);
+    EXPECT_EQ(r.fault, Fault::NotPresent);
+}
+
+TEST_F(MmuFixture, InvalidPteFaults)
+{
+    Pte p;
+    p.valid = false;
+    pt.install(5, p);
+    auto r = mmu.translate(5 * 4096, false);
+    EXPECT_EQ(r.fault, Fault::NotPresent);
+}
+
+TEST_F(MmuFixture, ProtectionFaultOnWriteToReadOnly)
+{
+    map(5, 0x8000, false);
+    EXPECT_TRUE(mmu.translate(5 * 4096, false).ok());
+    EXPECT_EQ(mmu.translate(5 * 4096, true).fault, Fault::Protection);
+}
+
+TEST_F(MmuFixture, SetsReferencedAndDirtyBits)
+{
+    Pte &p = map(5, 0x8000, true);
+    EXPECT_FALSE(p.referenced);
+    (void)mmu.translate(5 * 4096, false);
+    EXPECT_TRUE(p.referenced);
+    EXPECT_FALSE(p.dirty);
+    (void)mmu.translate(5 * 4096, true);
+    EXPECT_TRUE(p.dirty);
+}
+
+TEST_F(MmuFixture, FaultDoesNotMutateBits)
+{
+    Pte &p = map(5, 0x8000, false);
+    (void)mmu.translate(5 * 4096, true); // protection fault
+    EXPECT_FALSE(p.referenced);
+    EXPECT_FALSE(p.dirty);
+}
+
+TEST_F(MmuFixture, TlbHitOnSecondAccess)
+{
+    map(5, 0x8000, true);
+    auto r1 = mmu.translate(5 * 4096, false);
+    EXPECT_FALSE(r1.tlbHit);
+    auto r2 = mmu.translate(5 * 4096 + 8, false);
+    EXPECT_TRUE(r2.tlbHit);
+}
+
+TEST_F(MmuFixture, ActivateFlushesTlb)
+{
+    map(5, 0x8000, true);
+    (void)mmu.translate(5 * 4096, false);
+    PageTable other;
+    mmu.activate(&other);
+    EXPECT_EQ(mmu.translate(5 * 4096, false).fault, Fault::NotPresent);
+    mmu.activate(&pt);
+    auto r = mmu.translate(5 * 4096, false);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.tlbHit) << "switch must have flushed the TLB";
+}
+
+TEST_F(MmuFixture, InvalidatePageDropsStaleTranslation)
+{
+    map(5, 0x8000, true);
+    (void)mmu.translate(5 * 4096, false);
+    mmu.invalidatePage(5);
+    pt.remove(5);
+    EXPECT_EQ(mmu.translate(5 * 4096, false).fault,
+              Fault::NotPresent);
+}
+
+TEST_F(MmuFixture, NoActiveTableFaults)
+{
+    mmu.activate(nullptr);
+    EXPECT_EQ(mmu.translate(0, false).fault, Fault::NotPresent);
+}
+
+TEST_F(MmuFixture, ProxyPagePermissionCheckedLikeAnyPage)
+{
+    // A read-only proxy mapping: LOAD ok, STORE faults — exactly how
+    // I3 forces the upgrade path.
+    Addr proxy_frame = layout.proxy(0x8000, 0);
+    std::uint64_t proxy_vpn = layout.pageOf(layout.proxy(5 * 4096, 0));
+    Pte p;
+    p.frameAddr = proxy_frame;
+    p.valid = true;
+    p.writable = false;
+    pt.install(proxy_vpn, p);
+    Addr va = layout.proxy(5 * 4096, 0);
+    EXPECT_TRUE(mmu.translate(va, false).ok());
+    EXPECT_EQ(mmu.translate(va, true).fault, Fault::Protection);
+}

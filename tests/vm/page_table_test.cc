@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the per-process page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/page_table.hh"
+
+using namespace shrimp;
+using namespace shrimp::vm;
+
+namespace
+{
+
+Pte
+makePte(Addr frame, bool writable = true)
+{
+    Pte p;
+    p.frameAddr = frame;
+    p.valid = true;
+    p.writable = writable;
+    return p;
+}
+
+} // namespace
+
+TEST(PageTable, InstallAndLookup)
+{
+    PageTable pt;
+    pt.install(5, makePte(0x3000));
+    Pte *p = pt.lookup(5);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->frameAddr, 0x3000u);
+    EXPECT_TRUE(p->valid);
+}
+
+TEST(PageTable, LookupMissingReturnsNull)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.lookup(5), nullptr);
+    pt.install(5, makePte(0x3000));
+    EXPECT_EQ(pt.lookup(6), nullptr);
+}
+
+TEST(PageTable, InstallOverwrites)
+{
+    PageTable pt;
+    pt.install(5, makePte(0x3000));
+    pt.install(5, makePte(0x4000, false));
+    Pte *p = pt.lookup(5);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->frameAddr, 0x4000u);
+    EXPECT_FALSE(p->writable);
+    EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(PageTable, RemoveDeletesEntry)
+{
+    PageTable pt;
+    pt.install(5, makePte(0x3000));
+    pt.remove(5);
+    EXPECT_EQ(pt.lookup(5), nullptr);
+    EXPECT_EQ(pt.size(), 0u);
+    pt.remove(5); // idempotent
+}
+
+TEST(PageTable, PointerStabilityAcrossInserts)
+{
+    // The TLB caches Pte pointers; node-based storage must keep them
+    // valid as unrelated entries come and go.
+    PageTable pt;
+    Pte *p5 = &pt.install(5, makePte(0x5000));
+    for (std::uint64_t v = 100; v < 200; ++v)
+        pt.install(v, makePte(v << 12));
+    for (std::uint64_t v = 100; v < 150; ++v)
+        pt.remove(v);
+    EXPECT_EQ(pt.lookup(5), p5);
+    EXPECT_EQ(p5->frameAddr, 0x5000u);
+}
+
+TEST(PageTable, ForEachVisitsAllAndMutates)
+{
+    PageTable pt;
+    pt.install(1, makePte(0x1000));
+    pt.install(2, makePte(0x2000));
+    pt.install(3, makePte(0x3000));
+    std::size_t count = 0;
+    pt.forEach([&](std::uint64_t vpn, Pte &pte) {
+        ++count;
+        pte.referenced = vpn == 2;
+    });
+    EXPECT_EQ(count, 3u);
+    EXPECT_FALSE(pt.lookup(1)->referenced);
+    EXPECT_TRUE(pt.lookup(2)->referenced);
+}
+
+TEST(PageTable, ConstLookup)
+{
+    PageTable pt;
+    pt.install(9, makePte(0x9000));
+    const PageTable &cpt = pt;
+    const Pte *p = cpt.lookup(9);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->frameAddr, 0x9000u);
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+
+using namespace shrimp;
+using namespace shrimp::vm;
+
+namespace
+{
+
+Pte
+pte(Addr f)
+{
+    Pte p;
+    p.frameAddr = f;
+    p.valid = true;
+    return p;
+}
+
+} // namespace
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(4);
+    Pte p = pte(0x1000);
+    EXPECT_EQ(tlb.lookup(1), nullptr);
+    tlb.insert(1, &p);
+    EXPECT_EQ(tlb.lookup(1), &p);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(2);
+    Pte a = pte(0xA000), b = pte(0xB000), c = pte(0xC000);
+    tlb.insert(1, &a);
+    tlb.insert(2, &b);
+    (void)tlb.lookup(1); // 1 is now most recent
+    tlb.insert(3, &c);   // evicts 2
+    EXPECT_EQ(tlb.lookup(1), &a);
+    EXPECT_EQ(tlb.lookup(2), nullptr);
+    EXPECT_EQ(tlb.lookup(3), &c);
+}
+
+TEST(Tlb, InsertSameVpnUpdates)
+{
+    Tlb tlb(2);
+    Pte a = pte(0xA000), b = pte(0xB000);
+    tlb.insert(1, &a);
+    tlb.insert(1, &b);
+    EXPECT_EQ(tlb.lookup(1), &b);
+    EXPECT_EQ(tlb.entries(), 1u);
+}
+
+TEST(Tlb, InvalidatePage)
+{
+    Tlb tlb(4);
+    Pte a = pte(0xA000), b = pte(0xB000);
+    tlb.insert(1, &a);
+    tlb.insert(2, &b);
+    tlb.invalidatePage(1);
+    EXPECT_EQ(tlb.lookup(1), nullptr);
+    EXPECT_EQ(tlb.lookup(2), &b);
+    tlb.invalidatePage(99); // no-op
+}
+
+TEST(Tlb, FlushAll)
+{
+    Tlb tlb(4);
+    Pte a = pte(0xA000), b = pte(0xB000);
+    tlb.insert(1, &a);
+    tlb.insert(2, &b);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.entries(), 0u);
+    EXPECT_EQ(tlb.lookup(1), nullptr);
+    EXPECT_EQ(tlb.lookup(2), nullptr);
+}
+
+TEST(Tlb, CapacityRespected)
+{
+    Tlb tlb(8);
+    std::vector<Pte> ptes(20, pte(0));
+    for (std::uint64_t i = 0; i < 20; ++i)
+        tlb.insert(i, &ptes[i]);
+    EXPECT_EQ(tlb.entries(), 8u);
+}

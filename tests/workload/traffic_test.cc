@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the synthetic traffic generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/traffic.hh"
+
+using namespace shrimp;
+using namespace shrimp::workload;
+
+TEST(Traffic, NeverSendsToSelf)
+{
+    for (Pattern p : {Pattern::NearestNeighbor, Pattern::UniformRandom,
+                      Pattern::Hotspot, Pattern::Transpose,
+                      Pattern::Bursty}) {
+        TrafficConfig cfg;
+        cfg.pattern = p;
+        cfg.nodes = 5;
+        for (NodeId self = 0; self < 5; ++self) {
+            TrafficGenerator gen(cfg, self);
+            for (int i = 0; i < 200; ++i) {
+                NodeId d = gen.nextDestination();
+                ASSERT_NE(d, self) << patternName(p);
+                ASSERT_LT(d, 5u) << patternName(p);
+            }
+        }
+    }
+}
+
+TEST(Traffic, DeterministicPerSeedAndNode)
+{
+    TrafficConfig cfg;
+    cfg.pattern = Pattern::UniformRandom;
+    cfg.nodes = 8;
+    cfg.seed = 42;
+    TrafficGenerator a(cfg, 3), b(cfg, 3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextDestination(), b.nextDestination());
+    // Different nodes see different streams.
+    TrafficGenerator c(cfg, 4);
+    int same = 0;
+    TrafficGenerator a2(cfg, 3);
+    for (int i = 0; i < 100; ++i)
+        same += a2.nextDestination() == c.nextDestination();
+    EXPECT_LT(same, 50);
+}
+
+TEST(Traffic, NearestNeighborIsARing)
+{
+    TrafficConfig cfg;
+    cfg.pattern = Pattern::NearestNeighbor;
+    cfg.nodes = 4;
+    for (NodeId self = 0; self < 4; ++self) {
+        TrafficGenerator gen(cfg, self);
+        EXPECT_EQ(gen.nextDestination(), (self + 1) % 4);
+    }
+}
+
+TEST(Traffic, TransposeIsAPermutation)
+{
+    TrafficConfig cfg;
+    cfg.pattern = Pattern::Transpose;
+    cfg.nodes = 4;
+    std::map<NodeId, int> hit;
+    for (NodeId self = 0; self < 4; ++self) {
+        TrafficGenerator gen(cfg, self);
+        ++hit[gen.nextDestination()];
+    }
+    // Even size: a perfect permutation (every node receives once).
+    for (NodeId d = 0; d < 4; ++d)
+        EXPECT_EQ(hit[d], 1) << "dest " << d;
+}
+
+TEST(Traffic, TransposeOddMiddleRedirects)
+{
+    TrafficConfig cfg;
+    cfg.pattern = Pattern::Transpose;
+    cfg.nodes = 5;
+    TrafficGenerator gen(cfg, 2); // the middle
+    EXPECT_EQ(gen.nextDestination(), 3u);
+}
+
+TEST(Traffic, HotspotFractionRoughlyHonored)
+{
+    TrafficConfig cfg;
+    cfg.pattern = Pattern::Hotspot;
+    cfg.nodes = 8;
+    cfg.hotspotNode = 2;
+    cfg.hotspotFraction = 0.7;
+    int hot = 0;
+    constexpr int trials = 4000;
+    TrafficGenerator gen(cfg, 5);
+    for (int i = 0; i < trials; ++i)
+        hot += gen.nextDestination() == 2;
+    // 0.7 + (0.3 uniform over 7 others includes the hot node too).
+    double expected = 0.7 + 0.3 / 7.0;
+    EXPECT_NEAR(double(hot) / trials, expected, 0.04);
+}
+
+TEST(Traffic, HotspotNodeItselfSpraysUniformly)
+{
+    TrafficConfig cfg;
+    cfg.pattern = Pattern::Hotspot;
+    cfg.nodes = 4;
+    cfg.hotspotNode = 0;
+    TrafficGenerator gen(cfg, 0);
+    std::map<NodeId, int> hit;
+    for (int i = 0; i < 3000; ++i)
+        ++hit[gen.nextDestination()];
+    for (NodeId d = 1; d < 4; ++d)
+        EXPECT_NEAR(hit[d] / 3000.0, 1.0 / 3, 0.05);
+}
+
+TEST(Traffic, BurstyDutyCycleRoughlyHonored)
+{
+    TrafficConfig cfg;
+    cfg.pattern = Pattern::Bursty;
+    cfg.nodes = 2;
+    cfg.dutyCycle = 0.25;
+    cfg.burstLength = 4;
+    TrafficGenerator gen(cfg, 0);
+    int on = 0;
+    constexpr int slots = 8000;
+    for (int i = 0; i < slots; ++i)
+        on += gen.sendNow();
+    EXPECT_NEAR(double(on) / slots, 0.25, 0.05);
+}
+
+TEST(Traffic, NonBurstyAlwaysSends)
+{
+    TrafficConfig cfg;
+    cfg.pattern = Pattern::UniformRandom;
+    cfg.nodes = 2;
+    TrafficGenerator gen(cfg, 0);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(gen.sendNow());
+}
+
+TEST(Traffic, TooFewNodesPanics)
+{
+    TrafficConfig cfg;
+    cfg.nodes = 1;
+    EXPECT_THROW(TrafficGenerator(cfg, 0), PanicError);
+}
