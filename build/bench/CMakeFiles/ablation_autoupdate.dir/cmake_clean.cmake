@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autoupdate.dir/ablation_autoupdate.cc.o"
+  "CMakeFiles/ablation_autoupdate.dir/ablation_autoupdate.cc.o.d"
+  "ablation_autoupdate"
+  "ablation_autoupdate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autoupdate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pio_crossover.dir/ablation_pio_crossover.cc.o"
+  "CMakeFiles/ablation_pio_crossover.dir/ablation_pio_crossover.cc.o.d"
+  "ablation_pio_crossover"
+  "ablation_pio_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pio_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_udma.dir/micro_udma.cc.o"
+  "CMakeFiles/micro_udma.dir/micro_udma.cc.o.d"
+  "micro_udma"
+  "micro_udma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_udma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

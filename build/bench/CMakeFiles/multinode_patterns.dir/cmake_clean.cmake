@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_patterns.dir/multinode_patterns.cc.o"
+  "CMakeFiles/multinode_patterns.dir/multinode_patterns.cc.o.d"
+  "multinode_patterns"
+  "multinode_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

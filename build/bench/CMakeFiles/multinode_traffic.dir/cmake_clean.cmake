@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_traffic.dir/multinode_traffic.cc.o"
+  "CMakeFiles/multinode_traffic.dir/multinode_traffic.cc.o.d"
+  "multinode_traffic"
+  "multinode_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

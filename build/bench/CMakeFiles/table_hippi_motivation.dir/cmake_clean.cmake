@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_hippi_motivation.dir/table_hippi_motivation.cc.o"
+  "CMakeFiles/table_hippi_motivation.dir/table_hippi_motivation.cc.o.d"
+  "table_hippi_motivation"
+  "table_hippi_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_hippi_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_initiation_cost.dir/table_initiation_cost.cc.o"
+  "CMakeFiles/table_initiation_cost.dir/table_initiation_cost.cc.o.d"
+  "table_initiation_cost"
+  "table_initiation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_initiation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_disk_dma.dir/disk_dma.cpp.o"
+  "CMakeFiles/example_disk_dma.dir/disk_dma.cpp.o.d"
+  "example_disk_dma"
+  "example_disk_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_disk_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

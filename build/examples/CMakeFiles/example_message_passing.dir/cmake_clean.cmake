@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_message_passing.dir/message_passing.cpp.o"
+  "CMakeFiles/example_message_passing.dir/message_passing.cpp.o.d"
+  "example_message_passing"
+  "example_message_passing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_message_passing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

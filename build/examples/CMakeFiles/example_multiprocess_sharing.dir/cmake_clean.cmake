@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multiprocess_sharing.dir/multiprocess_sharing.cpp.o"
+  "CMakeFiles/example_multiprocess_sharing.dir/multiprocess_sharing.cpp.o.d"
+  "example_multiprocess_sharing"
+  "example_multiprocess_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multiprocess_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

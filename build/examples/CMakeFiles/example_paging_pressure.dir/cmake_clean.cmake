@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paging_pressure.dir/paging_pressure.cpp.o"
+  "CMakeFiles/example_paging_pressure.dir/paging_pressure.cpp.o.d"
+  "example_paging_pressure"
+  "example_paging_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paging_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_reduce.dir/parallel_reduce.cpp.o"
+  "CMakeFiles/example_parallel_reduce.dir/parallel_reduce.cpp.o.d"
+  "example_parallel_reduce"
+  "example_parallel_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

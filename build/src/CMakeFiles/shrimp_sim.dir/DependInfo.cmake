@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/fifo_nic.cc" "src/CMakeFiles/shrimp_sim.dir/baseline/fifo_nic.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/baseline/fifo_nic.cc.o.d"
+  "/root/repo/src/baseline/traditional_dma.cc" "src/CMakeFiles/shrimp_sim.dir/baseline/traditional_dma.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/baseline/traditional_dma.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/shrimp_sim.dir/core/system.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/core/system.cc.o.d"
+  "/root/repo/src/core/udma_lib.cc" "src/CMakeFiles/shrimp_sim.dir/core/udma_lib.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/core/udma_lib.cc.o.d"
+  "/root/repo/src/dma/dma_engine.cc" "src/CMakeFiles/shrimp_sim.dir/dma/dma_engine.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/dma/dma_engine.cc.o.d"
+  "/root/repo/src/dma/udma_controller.cc" "src/CMakeFiles/shrimp_sim.dir/dma/udma_controller.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/dma/udma_controller.cc.o.d"
+  "/root/repo/src/msg/channel.cc" "src/CMakeFiles/shrimp_sim.dir/msg/channel.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/msg/channel.cc.o.d"
+  "/root/repo/src/msg/collective.cc" "src/CMakeFiles/shrimp_sim.dir/msg/collective.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/msg/collective.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/shrimp_sim.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/shrimp_sim.dir/os/process.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/os/process.cc.o.d"
+  "/root/repo/src/os/user_context.cc" "src/CMakeFiles/shrimp_sim.dir/os/user_context.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/os/user_context.cc.o.d"
+  "/root/repo/src/shrimp/network_interface.cc" "src/CMakeFiles/shrimp_sim.dir/shrimp/network_interface.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/shrimp/network_interface.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/shrimp_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/shrimp_sim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/shrimp_sim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/shrimp_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workload/traffic.cc" "src/CMakeFiles/shrimp_sim.dir/workload/traffic.cc.o" "gcc" "src/CMakeFiles/shrimp_sim.dir/workload/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma.dir/dma/abort_test.cc.o"
+  "CMakeFiles/test_dma.dir/dma/abort_test.cc.o.d"
+  "CMakeFiles/test_dma.dir/dma/controller_fuzz_test.cc.o"
+  "CMakeFiles/test_dma.dir/dma/controller_fuzz_test.cc.o.d"
+  "CMakeFiles/test_dma.dir/dma/controller_test.cc.o"
+  "CMakeFiles/test_dma.dir/dma/controller_test.cc.o.d"
+  "CMakeFiles/test_dma.dir/dma/engine_test.cc.o"
+  "CMakeFiles/test_dma.dir/dma/engine_test.cc.o.d"
+  "CMakeFiles/test_dma.dir/dma/priority_queue_test.cc.o"
+  "CMakeFiles/test_dma.dir/dma/priority_queue_test.cc.o.d"
+  "CMakeFiles/test_dma.dir/dma/status_test.cc.o"
+  "CMakeFiles/test_dma.dir/dma/status_test.cc.o.d"
+  "test_dma"
+  "test_dma.pdb"
+  "test_dma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/os/i3_policy_test.cc" "tests/CMakeFiles/test_os.dir/os/i3_policy_test.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/i3_policy_test.cc.o.d"
+  "/root/repo/tests/os/invariants_test.cc" "tests/CMakeFiles/test_os.dir/os/invariants_test.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/invariants_test.cc.o.d"
+  "/root/repo/tests/os/kernel_test.cc" "tests/CMakeFiles/test_os.dir/os/kernel_test.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/kernel_test.cc.o.d"
+  "/root/repo/tests/os/paging_fuzz_test.cc" "tests/CMakeFiles/test_os.dir/os/paging_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/paging_fuzz_test.cc.o.d"
+  "/root/repo/tests/os/paging_test.cc" "tests/CMakeFiles/test_os.dir/os/paging_test.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/paging_test.cc.o.d"
+  "/root/repo/tests/os/user_context_test.cc" "tests/CMakeFiles/test_os.dir/os/user_context_test.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/user_context_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shrimp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

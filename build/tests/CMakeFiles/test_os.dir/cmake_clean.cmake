@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/i3_policy_test.cc.o"
+  "CMakeFiles/test_os.dir/os/i3_policy_test.cc.o.d"
+  "CMakeFiles/test_os.dir/os/invariants_test.cc.o"
+  "CMakeFiles/test_os.dir/os/invariants_test.cc.o.d"
+  "CMakeFiles/test_os.dir/os/kernel_test.cc.o"
+  "CMakeFiles/test_os.dir/os/kernel_test.cc.o.d"
+  "CMakeFiles/test_os.dir/os/paging_fuzz_test.cc.o"
+  "CMakeFiles/test_os.dir/os/paging_fuzz_test.cc.o.d"
+  "CMakeFiles/test_os.dir/os/paging_test.cc.o"
+  "CMakeFiles/test_os.dir/os/paging_test.cc.o.d"
+  "CMakeFiles/test_os.dir/os/user_context_test.cc.o"
+  "CMakeFiles/test_os.dir/os/user_context_test.cc.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

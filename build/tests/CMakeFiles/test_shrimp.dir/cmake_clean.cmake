@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shrimp.dir/shrimp/auto_update_test.cc.o"
+  "CMakeFiles/test_shrimp.dir/shrimp/auto_update_test.cc.o.d"
+  "CMakeFiles/test_shrimp.dir/shrimp/interconnect_test.cc.o"
+  "CMakeFiles/test_shrimp.dir/shrimp/interconnect_test.cc.o.d"
+  "CMakeFiles/test_shrimp.dir/shrimp/ni_test.cc.o"
+  "CMakeFiles/test_shrimp.dir/shrimp/ni_test.cc.o.d"
+  "CMakeFiles/test_shrimp.dir/shrimp/nipt_test.cc.o"
+  "CMakeFiles/test_shrimp.dir/shrimp/nipt_test.cc.o.d"
+  "test_shrimp"
+  "test_shrimp.pdb"
+  "test_shrimp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shrimp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
