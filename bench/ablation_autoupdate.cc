@@ -18,6 +18,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "core/system.hh"
 #include "core/udma_lib.hh"
 
@@ -83,6 +84,9 @@ runAuto(unsigned words)
 
     sys.runUntilAllDone(Tick(60) * tickSec);
     sys.run();
+    bench::captureSystem(sys);
+    if (auto *r = bench::BenchReport::active())
+        r->recordLatencyUs(res.us);
     return res;
 }
 
@@ -130,14 +134,22 @@ runDeliberate(unsigned words)
 
     sys.runUntilAllDone(Tick(60) * tickSec);
     sys.run();
+    bench::captureSystem(sys);
+    if (auto *r = bench::BenchReport::active())
+        r->recordLatencyUs(res.us);
     return res;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("ablation_autoupdate", opts);
+
     std::printf("# Automatic update vs deliberate update: N 8-byte "
                 "words to a remote page, time to last-word visibility "
                 "at the receiver\n");
@@ -152,5 +164,6 @@ main()
                 "deliberate update wins once the span is large enough "
                 "that one engine burst beats per-word packets. This is "
                 "why SHRIMP kept both strategies (Section 9).\n");
+    report.write();
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "core/system.hh"
 #include "core/udma_lib.hh"
 
@@ -73,14 +74,22 @@ run(double window_ns, unsigned words)
     sys.run();
     res.packets = send.ni()->autoUpdatesSent();
     res.combined = send.ni()->autoUpdatesCombined();
+    bench::captureSystem(sys);
+    if (auto *r = bench::BenchReport::active())
+        r->recordLatencyUs(res.usToLastVisible);
     return res;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("ablation_combining", opts);
+
     constexpr unsigned words = 64;
     std::printf("# Automatic-update combining-window sweep: %u "
                 "contiguous 8-byte stores\n",
@@ -99,5 +108,7 @@ main()
                 "arrive ~0.15 us apart); a very long window defers "
                 "the final flush and shows up directly as last-word "
                 "latency.\n");
+    report.setParam("words", double(words));
+    report.write();
     return 0;
 }

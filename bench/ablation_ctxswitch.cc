@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "core/system.hh"
 #include "core/udma_lib.hh"
 
@@ -105,14 +106,22 @@ run(double quantum_us, unsigned hogs, unsigned messages)
     // completion/wait polling also LOADs, so report attempts as the
     // paper's retry discussion frames them: transfers vs. Invals.
     out.initiations = ctrl->statusLoads();
+    bench::captureSystem(sys);
+    if (auto *r = bench::BenchReport::active())
+        r->recordLatencyUs(out.wall_us / (messages ? messages : 1));
     return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("ablation_ctxswitch", opts);
+
     constexpr unsigned messages = 16;
     std::printf("# I1 ablation: sender + 3 compute hogs on one node, "
                 "%u x 4 KB messages\n",
@@ -143,5 +152,8 @@ main()
                 "sender's wall time: its DMA transfers overlap the "
                 "hogs' compute while it is descheduled.\n",
                 messages);
+    report.setParam("messages", double(messages));
+    report.setParam("hogs", 3.0);
+    report.write();
     return 0;
 }

@@ -18,8 +18,13 @@
 using namespace shrimp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = core::parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("ablation_pio_crossover", opts);
+
     sim::MachineParams params;
 
     std::printf("# PIO (memory-mapped FIFO) vs UDMA (burst DMA), "
@@ -51,5 +56,7 @@ main()
     } else {
         std::printf("\n# no crossover observed in this sweep\n");
     }
+    report.addMetric("crossover_bytes", double(crossover));
+    report.write();
     return 0;
 }

@@ -19,8 +19,13 @@
 using namespace shrimp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = core::parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("ablation_queueing", opts);
+
     sim::MachineParams params;
     constexpr std::uint64_t msgBytes = 64 << 10;
 
@@ -44,5 +49,7 @@ main()
                 "7). The gain is bounded by the I/O bus: the sender's "
                 "completion-poll LOADs share EISA with the DMA bursts "
                 "either way.\n");
+    report.setParam("message_bytes", double(msgBytes));
+    report.write();
     return 0;
 }

@@ -12,11 +12,16 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/system.hh"
 #include "core/udma_lib.hh"
+#include "sim/json.hh"
+#include "sim/span.hh"
 
 namespace shrimp::bench
 {
@@ -32,6 +37,11 @@ struct MessageTiming
     std::uint64_t statusLoads = 0;
     std::uint64_t queueRefusals = 0;
     std::uint64_t invals = 0;
+    // Whole-system kernel invariant counters (all nodes).
+    std::uint64_t i1Invals = 0;
+    std::uint64_t i2Shootdowns = 0;
+    std::uint64_t i3DirtyFaults = 0;
+    std::uint64_t contextSwitches = 0;
 
     double
     bandwidthBytesPerUs() const
@@ -39,7 +49,186 @@ struct MessageTiming
         Tick dt = delivered - sendStart;
         return dt == 0 ? 0.0 : double(bytes) / ticksToUs(dt);
     }
+
+    double
+    latencyUs() const
+    {
+        return delivered > sendStart ? ticksToUs(delivered - sendStart)
+                                     : 0.0;
+    }
 };
+
+/**
+ * Machine-readable benchmark output (the BENCH_*.json format): name,
+ * parameters, metrics, an end-to-end latency histogram, the kernel
+ * invariant counters summed over every System the benchmark built,
+ * and the span-registry summary. One report is active per process;
+ * the time*Message helpers feed it automatically, and benchmarks that
+ * build their own Systems call captureSystem() before the System
+ * dies.
+ *
+ * Written only when the binary is invoked with `--stats-json=<path>`.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string name, core::RunOptions opts)
+        : name_(std::move(name)), opts_(std::move(opts))
+    {
+        active_ = this;
+        // One experiment per process: start span accounting fresh.
+        span::registry().clear();
+    }
+
+    ~BenchReport()
+    {
+        if (active_ == this)
+            active_ = nullptr;
+    }
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    static BenchReport *active() { return active_; }
+
+    void
+    setParam(const std::string &key, const std::string &value)
+    {
+        params_.emplace_back(key, value);
+    }
+
+    void
+    setParam(const std::string &key, double value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", value);
+        params_.emplace_back(key, buf);
+    }
+
+    void
+    addMetric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    /** Sample one end-to-end message latency. */
+    void recordLatencyUs(double us) { latencyUs_.sample(us); }
+
+    void
+    recordTiming(const MessageTiming &t)
+    {
+        if (t.delivered > t.sendStart)
+            recordLatencyUs(t.latencyUs());
+    }
+
+    /**
+     * Accumulate a System's invariant counters; call once per System,
+     * after the run, while it is still alive.
+     */
+    void
+    captureSystem(core::System &sys)
+    {
+        for (unsigned i = 0; i < sys.nodeCount(); ++i) {
+            auto &k = sys.node(i).kernel();
+            i1Invals_ += k.i1Invals();
+            i2Shootdowns_ += k.i2Shootdowns();
+            i3DirtyFaults_ += k.i3DirtyFaults();
+            contextSwitches_ += k.contextSwitches();
+            for (auto *c : k.controllers()) {
+                transfersStarted_ += c->transfersStarted();
+                statusLoads_ += c->statusLoads();
+                queueRefusals_ += c->queueRefusals();
+                invalsApplied_ += c->invalsApplied();
+                badLoads_ += c->badLoads();
+            }
+            if (auto *ni = sys.node(i).ni()) {
+                messagesDelivered_ += ni->messagesDelivered();
+                bytesDelivered_ += ni->bytesDelivered();
+            }
+        }
+        ++systemsCaptured_;
+    }
+
+    /** Write the report to the --stats-json path (no-op without one). */
+    void
+    write() const
+    {
+        if (opts_.statsJsonPath.empty())
+            return;
+        std::ofstream out(opts_.statsJsonPath);
+        if (!out) {
+            std::cerr << "cannot write " << opts_.statsJsonPath << "\n";
+            return;
+        }
+        sim::JsonWriter w(out);
+        w.beginObject();
+        w.field("name", name_);
+        w.key("params");
+        w.beginObject();
+        for (const auto &[k, v] : params_)
+            w.field(k, v);
+        w.endObject();
+        w.key("metrics");
+        w.beginObject();
+        for (const auto &[k, v] : metrics_)
+            w.field(k, v);
+        w.endObject();
+        w.key("counters");
+        w.beginObject();
+        w.field("i1_invals", i1Invals_);
+        w.field("i2_shootdowns", i2Shootdowns_);
+        w.field("i3_dirty_faults", i3DirtyFaults_);
+        w.field("context_switches", contextSwitches_);
+        w.field("transfers_started", transfersStarted_);
+        w.field("status_loads", statusLoads_);
+        w.field("queue_refusals", queueRefusals_);
+        w.field("invals_applied", invalsApplied_);
+        w.field("bad_loads", badLoads_);
+        w.field("messages_delivered", messagesDelivered_);
+        w.field("bytes_delivered", bytesDelivered_);
+        w.field("systems_captured", systemsCaptured_);
+        w.endObject();
+        w.key("histograms");
+        w.beginObject();
+        stats::JsonDumper d(w);
+        d.histogram("latency_us", "", latencyUs_);
+        w.endObject();
+        w.key("spans");
+        span::registry().dumpJson(w, /*includeSpans=*/false);
+        w.endObject();
+        w.finish();
+    }
+
+  private:
+    inline static BenchReport *active_ = nullptr;
+
+    std::string name_;
+    core::RunOptions opts_;
+    std::vector<std::pair<std::string, std::string>> params_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    /** End-to-end message latency; 64 us buckets, overflow beyond. */
+    stats::Histogram latencyUs_{0, 4096, 64};
+    std::uint64_t i1Invals_ = 0;
+    std::uint64_t i2Shootdowns_ = 0;
+    std::uint64_t i3DirtyFaults_ = 0;
+    std::uint64_t contextSwitches_ = 0;
+    std::uint64_t transfersStarted_ = 0;
+    std::uint64_t statusLoads_ = 0;
+    std::uint64_t queueRefusals_ = 0;
+    std::uint64_t invalsApplied_ = 0;
+    std::uint64_t badLoads_ = 0;
+    std::uint64_t messagesDelivered_ = 0;
+    std::uint64_t bytesDelivered_ = 0;
+    std::uint64_t systemsCaptured_ = 0;
+};
+
+/** Feed the active report (if any) from a finished System. */
+inline void
+captureSystem(core::System &sys)
+{
+    if (auto *r = BenchReport::active())
+        r->captureSystem(sys);
+}
 
 /**
  * Send one @p bytes message over a fresh two-node UDMA system and
@@ -115,6 +304,16 @@ timeUdmaMessage(std::uint64_t bytes, const sim::MachineParams &params,
         result.queueRefusals = ctrl->queueRefusals();
         result.invals = ctrl->invalsApplied();
     }
+    for (unsigned i = 0; i < sys.nodeCount(); ++i) {
+        auto &k = sys.node(i).kernel();
+        result.i1Invals += k.i1Invals();
+        result.i2Shootdowns += k.i2Shootdowns();
+        result.i3DirtyFaults += k.i3DirtyFaults();
+        result.contextSwitches += k.contextSwitches();
+    }
+    captureSystem(sys);
+    if (auto *r = BenchReport::active())
+        r->recordTiming(result);
     return result;
 }
 
@@ -189,6 +388,16 @@ timePioMessage(std::uint64_t bytes, const sim::MachineParams &params)
         });
 
     sys.runUntilAllDone(Tick(120) * tickSec);
+    for (unsigned i = 0; i < sys.nodeCount(); ++i) {
+        auto &k = sys.node(i).kernel();
+        result.i1Invals += k.i1Invals();
+        result.i2Shootdowns += k.i2Shootdowns();
+        result.i3DirtyFaults += k.i3DirtyFaults();
+        result.contextSwitches += k.contextSwitches();
+    }
+    captureSystem(sys);
+    if (auto *r = BenchReport::active())
+        r->recordTiming(result);
     return result;
 }
 
@@ -276,6 +485,16 @@ timeTraditionalNiMessage(std::uint64_t bytes,
 
     sys.runUntilAllDone(Tick(120) * tickSec);
     sys.run();
+    for (unsigned i = 0; i < sys.nodeCount(); ++i) {
+        auto &k = sys.node(i).kernel();
+        result.i1Invals += k.i1Invals();
+        result.i2Shootdowns += k.i2Shootdowns();
+        result.i3DirtyFaults += k.i3DirtyFaults();
+        result.contextSwitches += k.contextSwitches();
+    }
+    captureSystem(sys);
+    if (auto *r = BenchReport::active())
+        r->recordTiming(result);
     return result;
 }
 

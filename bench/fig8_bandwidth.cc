@@ -22,8 +22,13 @@
 using namespace shrimp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = core::parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("fig8_bandwidth", opts);
+
     sim::MachineParams params;
 
     std::vector<std::uint64_t> sizes = {
@@ -57,5 +62,10 @@ main()
 
     std::printf("\n# Paper anchors: >50%% at 512 B; ~94%% at 4 KB; "
                 "dip just past 4 KB; plateau past 8 KB.\n");
+
+    report.setParam("max_bytes", double(sizes.back()));
+    report.setParam("sizes", double(sizes.size()));
+    report.addMetric("max_bandwidth_mb_s", max_bw * 1e6 / (1 << 20));
+    report.write();
     return 0;
 }

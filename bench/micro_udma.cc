@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "bus/io_bus.hh"
 #include "dev/stream_sink.hh"
 #include "dma/status.hh"
@@ -118,4 +119,35 @@ BM_AddressDecode(benchmark::State &state)
 }
 BENCHMARK(BM_AddressDecode);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --stats-json= / --trace= before google-benchmark parses
+    // the remaining arguments.
+    auto opts = core::parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("micro_udma", opts);
+
+    // When a machine-readable report was requested, run a batch of
+    // simulated 4 KB messages so the report carries a populated
+    // latency histogram and the kernel invariant counters (the
+    // google-benchmark loops below exercise host-time hot paths and
+    // never build a full System).
+    if (!opts.statsJsonPath.empty()) {
+        sim::MachineParams params;
+        constexpr unsigned messages = 16;
+        for (unsigned i = 0; i < messages; ++i)
+            bench::timeUdmaMessage(4096, params);
+        report.setParam("report_messages", double(messages));
+        report.setParam("report_message_bytes", 4096.0);
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    report.write();
+    return 0;
+}

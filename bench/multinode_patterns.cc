@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/system.hh"
 #include "core/udma_lib.hh"
 #include "workload/traffic.hh"
@@ -110,14 +111,20 @@ runPattern(const TrafficConfig &tc)
         total_bytes / res.wallUs * 1e6 / (1 << 20);
     res.hotDelivered =
         sys.node(tc.hotspotNode).ni()->messagesDelivered();
+    bench::captureSystem(sys);
     return res;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("multinode_patterns", opts);
+
     TrafficConfig base;
     base.nodes = 4;
     base.messageBytes = 4096;
@@ -145,5 +152,9 @@ main()
                 "hotspot serializes on the hot receiver's bus and "
                 "drags aggregate bandwidth toward the single-link "
                 "rate.\n");
+    report.setParam("nodes", double(base.nodes));
+    report.setParam("message_bytes", double(base.messageBytes));
+    report.setParam("messages_per_node", double(base.messagesPerNode));
+    report.write();
     return 0;
 }

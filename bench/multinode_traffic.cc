@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/system.hh"
 #include "msg/channel.hh"
 
@@ -20,8 +21,13 @@ using namespace shrimp;
 using namespace shrimp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("multinode_traffic", opts);
+
     constexpr unsigned nodes = 4;
     constexpr unsigned records = 64;
     constexpr std::uint32_t recordBytes = 4080; // one slot payload
@@ -101,5 +107,11 @@ main()
                 (unsigned long long)sys.net().bytesRouted());
     std::printf("# Each link runs near the single-link EISA-bound "
                 "rate: the backplane is not the bottleneck.\n");
+    bench::captureSystem(sys);
+    report.setParam("nodes", double(nodes));
+    report.setParam("records", double(records));
+    report.setParam("record_bytes", double(recordBytes));
+    report.addMetric("aggregate_mb_s", aggregate);
+    report.write();
     return 0;
 }

@@ -57,8 +57,13 @@ measure(const char *name, const Meter &meter)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = core::parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("table_half_power", opts);
+
     sim::MachineParams params;
 
     std::vector<Row> rows;
@@ -89,5 +94,9 @@ main()
                 "into the hundreds of kilobytes. PIO reaches its "
                 "(much lower) half-power bandwidth almost immediately."
                 "\n");
+    report.addMetric("udma_n_half_bytes", double(rows[0].nHalf));
+    report.addMetric("udma_max_mb_s",
+                     rows[0].maxBw * 1e6 / (1 << 20));
+    report.write();
     return 0;
 }

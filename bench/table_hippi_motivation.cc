@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/system.hh"
 #include "core/udma_lib.hh"
 
@@ -83,6 +84,9 @@ traditionalBw(std::uint64_t block)
             us = ticksToUs(ctx.kernel().eq().now() - t0);
         });
     sys.runUntilAllDone();
+    bench::captureSystem(sys);
+    if (auto *r = bench::BenchReport::active())
+        r->recordLatencyUs(us);
     return double(block) / us; // bytes/us == MB/s-ish (2^20 vs 1e6)
 }
 
@@ -107,14 +111,22 @@ udmaBw(std::uint64_t block)
             us = ticksToUs(ctx.kernel().eq().now() - t0);
         });
     sys.runUntilAllDone();
+    bench::captureSystem(sys);
+    if (auto *r = bench::BenchReport::active())
+        r->recordLatencyUs(us);
     return double(block) / us;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("table_hippi_motivation", opts);
+
     std::printf("# Paragon/HIPPI motivation (paper Section 1): "
                 "100 MB/s channel\n");
     std::printf("%12s %16s %16s\n", "block_bytes", "trad_MB_per_s",
@@ -142,5 +154,7 @@ main()
         std::printf("# traditional path did not reach 80 MB/s in this "
                     "sweep\n");
     }
+    report.addMetric("trad_80mb_s_block_bytes", crossing80);
+    report.write();
     return 0;
 }

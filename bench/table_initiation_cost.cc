@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "core/system.hh"
 #include "core/udma_lib.hh"
 
@@ -74,6 +75,7 @@ measureUdma()
             out.status_check_us = ticksToUs(t3 - t2);
         });
     sys.runUntilAllDone();
+    bench::captureSystem(sys);
     return out;
 }
 
@@ -104,6 +106,7 @@ measureTraditional(std::uint32_t nbytes,
             us = ticksToUs(t1 - t0);
         });
     sys.runUntilAllDone();
+    bench::captureSystem(sys);
     return us;
 }
 
@@ -129,14 +132,22 @@ measureUdmaEndToEnd(std::uint32_t nbytes)
             us = ticksToUs(t1 - t0);
         });
     sys.runUntilAllDone();
+    bench::captureSystem(sys);
+    if (auto *r = bench::BenchReport::active())
+        r->recordLatencyUs(us);
     return us;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = parseRunOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+    bench::BenchReport report("table_initiation_cost", opts);
+
     sim::MachineParams p;
 
     auto udma = measureUdma();
@@ -181,5 +192,8 @@ main()
                     4096, baseline::TraditionalDmaDriver::Mode::PinPages));
     std::printf("\n# Paper anchors: UDMA initiation ~2.8 us; "
                 "traditional costs hundreds-thousands of instructions.\n");
+    report.addMetric("udma_initiate_us", udma.initiate_us);
+    report.addMetric("udma_status_check_us", udma.status_check_us);
+    report.write();
     return 0;
 }

@@ -26,8 +26,12 @@ using namespace shrimp;
 using namespace shrimp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runOpts = core::parseRunOptions(argc, argv);
+    if (!runOpts.ok)
+        return 2;
+
     SystemConfig cfg;
     cfg.nodes = 1;
     cfg.node.memBytes = 8 << 20;
@@ -109,5 +113,6 @@ main()
     std::printf("kernel: %llu proxy faults, %llu I3 write upgrades\n",
                 (unsigned long long)node.kernel().proxyFaults(),
                 (unsigned long long)node.kernel().proxyWriteUpgrades());
+    core::writeStatsJson(sys, runOpts);
     return 0;
 }

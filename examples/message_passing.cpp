@@ -31,8 +31,12 @@ struct Mailbox
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runOpts = core::parseRunOptions(argc, argv);
+    if (!runOpts.ok)
+        return 2;
+
     SystemConfig cfg;
     cfg.nodes = 2;
     cfg.node.memBytes = 8 << 20;
@@ -128,5 +132,6 @@ main()
     sys.run();
     std::printf("network: %llu bytes routed over the backplane\n",
                 (unsigned long long)sys.net().bytesRouted());
+    core::writeStatsJson(sys, runOpts);
     return 0;
 }

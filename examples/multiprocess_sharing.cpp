@@ -22,8 +22,12 @@ using namespace shrimp;
 using namespace shrimp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runOpts = core::parseRunOptions(argc, argv);
+    if (!runOpts.ok)
+        return 2;
+
     SystemConfig cfg;
     cfg.nodes = 1;
     cfg.node.memBytes = 16 << 20;
@@ -103,5 +107,6 @@ main()
                     node.controller(0)->invalsApplied(),
                 (unsigned long long)
                     node.controller(0)->transfersStarted());
+    core::writeStatsJson(sys, runOpts);
     return 0;
 }

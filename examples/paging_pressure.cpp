@@ -22,8 +22,12 @@ using namespace shrimp;
 using namespace shrimp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runOpts = core::parseRunOptions(argc, argv);
+    if (!runOpts.ok)
+        return 2;
+
     SystemConfig cfg;
     cfg.nodes = 1;
     cfg.node.memBytes = 64 << 10; // 16 frames only!
@@ -90,5 +94,6 @@ main()
                 (unsigned long long)
                     node.kernel().backingStore().pageReads(),
                 (unsigned long long)node.kernel().proxyFaults());
+    core::writeStatsJson(sys, runOpts);
     return 0;
 }

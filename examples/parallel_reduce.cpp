@@ -18,8 +18,12 @@ using namespace shrimp;
 using namespace shrimp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runOpts = core::parseRunOptions(argc, argv);
+    if (!runOpts.ok)
+        return 2;
+
     constexpr unsigned nodes = 4;
     constexpr std::uint32_t elems = 4096; // 32 KB vector of u64
     constexpr std::uint32_t bytes = elems * 8;
@@ -90,5 +94,6 @@ main()
     std::printf("network carried %llu bytes; every one initiated "
                 "from user level\n",
                 (unsigned long long)sys.net().bytesRouted());
+    core::writeStatsJson(sys, runOpts);
     return 0;
 }

@@ -19,8 +19,12 @@ using namespace shrimp;
 using namespace shrimp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runOpts = core::parseRunOptions(argc, argv);
+    if (!runOpts.ok)
+        return 2;
+
     SystemConfig cfg;
     cfg.nodes = 2;
     cfg.node.memBytes = 8 << 20;
@@ -89,5 +93,6 @@ main()
                 "(%llu combined) carried every acknowledgment\n",
                 (unsigned long long)cons.ni()->autoUpdatesSent(),
                 (unsigned long long)cons.ni()->autoUpdatesCombined());
+    core::writeStatsJson(sys, runOpts);
     return 0;
 }

@@ -21,8 +21,12 @@ using namespace shrimp;
 using namespace shrimp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runOpts = core::parseRunOptions(argc, argv);
+    if (!runOpts.ok)
+        return 2;
+
     SystemConfig cfg;
     cfg.nodes = 1;
     cfg.node.memBytes = 8 << 20;
@@ -91,5 +95,6 @@ main()
                 (unsigned long long)node.kernel().pageFaults(),
                 (unsigned long long)node.kernel().proxyFaults(),
                 (unsigned long long)node.kernel().contextSwitches());
+    core::writeStatsJson(sys, runOpts);
     return 0;
 }

@@ -59,7 +59,16 @@ class IoBus
   public:
     IoBus(sim::EventQueue &eq, const sim::MachineParams &params)
         : eq_(eq), params_(params)
-    {}
+    {
+        statGroup_.addScalar("bursts", &bursts_,
+                             "burst-mode DMA transactions");
+        statGroup_.addScalar("words", &words_,
+                             "single-word (PIO) transactions");
+        statGroup_.addScalar("busyTicks", &busyTicks_,
+                             "ticks the bus was occupied");
+        statGroup_.addHistogram("burst_bytes", &burstBytes_,
+                                "burst-mode transaction sizes (bytes)");
+    }
 
     /** Attach the proxy client for device index @p device. */
     void
@@ -104,6 +113,7 @@ class IoBus
     burstTransfer(std::uint64_t bytes)
     {
         ++bursts_;
+        burstBytes_.sample(double(bytes));
         return acquire(params_.eisaBurst(bytes));
     }
 
@@ -113,6 +123,7 @@ class IoBus
     burstTransferAt(Tick earliest, std::uint64_t bytes)
     {
         ++bursts_;
+        burstBytes_.sample(double(bytes));
         return acquireAt(earliest, params_.eisaBurst(bytes));
     }
 
@@ -137,6 +148,9 @@ class IoBus
         return std::uint64_t(words_.value());
     }
 
+    /** The bus's registered stats ("bus.*"). */
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
   private:
     sim::EventQueue &eq_;
     const sim::MachineParams &params_;
@@ -145,6 +159,9 @@ class IoBus
     stats::Scalar busyTicks_;
     stats::Scalar bursts_;
     stats::Scalar words_;
+    /** Burst sizes: DMA chunking is visible here (256-byte chunks). */
+    stats::Histogram burstBytes_{0, 4096, 16};
+    stats::StatGroup statGroup_{"bus"};
 };
 
 } // namespace shrimp::bus

@@ -2,9 +2,12 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <ostream>
 
+#include "sim/json.hh"
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 namespace shrimp::core
@@ -14,7 +17,7 @@ namespace
 {
 
 /**
- * Honour SHRIMP_TRACE=dma,vm,os,ni,bus (or "all"): enable those
+ * Honour SHRIMP_TRACE=dma,vm,os,ni,bus,xfer (or "all"): enable those
  * trace categories on stderr. Lets every example and bench be traced
  * without recompilation.
  */
@@ -24,22 +27,9 @@ applyTraceEnv()
     const char *env = std::getenv("SHRIMP_TRACE");
     if (!env || !*env)
         return;
-    trace::setSink(&std::cerr);
-    std::string spec(env);
-    auto want = [&](const char *name) {
-        return spec == "all"
-               || spec.find(name) != std::string::npos;
-    };
-    if (want("dma"))
-        trace::enable(trace::Category::Dma);
-    if (want("vm"))
-        trace::enable(trace::Category::Vm);
-    if (want("os"))
-        trace::enable(trace::Category::Os);
-    if (want("ni"))
-        trace::enable(trace::Category::Ni);
-    if (want("bus"))
-        trace::enable(trace::Category::Bus);
+    if (!trace::applySpec(env, &std::cerr))
+        std::cerr << "SHRIMP_TRACE: unknown category in '" << env
+                  << "' (want dma,vm,os,ni,bus,xfer or all)\n";
 }
 
 } // namespace
@@ -178,56 +168,115 @@ System::dumpStats(std::ostream &os)
         Node &n = *np;
         std::string p = "node" + std::to_string(n.id()) + ".";
         auto &k = n.kernel();
-        os << p << "kernel.contextSwitches " << k.contextSwitches()
-           << "\n";
-        os << p << "kernel.pageFaults " << k.pageFaults() << "\n";
-        os << p << "kernel.proxyFaults " << k.proxyFaults() << "\n";
-        os << p << "kernel.proxyWriteUpgrades "
-           << k.proxyWriteUpgrades() << "\n";
-        os << p << "kernel.evictions " << k.evictions() << "\n";
-        os << p << "kernel.evictionI4Skips " << k.evictionI4Skips()
-           << "\n";
-        os << p << "kernel.processesKilled " << k.processesKilled()
-           << "\n";
-        os << p << "kernel.freeFrames " << k.freeFrames() << "\n";
+        k.statGroup().dump(os, p);
         os << p << "swap.pageWrites "
            << k.backingStore().pageWrites() << "\n";
         os << p << "swap.pageReads " << k.backingStore().pageReads()
            << "\n";
-        os << p << "bus.bursts " << n.ioBus().burstCount() << "\n";
-        os << p << "bus.words " << n.ioBus().wordCount() << "\n";
-        os << p << "bus.busyTicks " << n.ioBus().busyTicks() << "\n";
+        n.ioBus().statGroup().dump(os, p);
         os << p << "tlb.hits " << n.mmu().tlb().hits() << "\n";
         os << p << "tlb.misses " << n.mmu().tlb().misses() << "\n";
         for (auto *c : k.controllers()) {
-            std::string cp =
-                p + "udma" + std::to_string(c->deviceIndex()) + ".";
-            os << cp << "transfersStarted " << c->transfersStarted()
-               << "\n";
-            os << cp << "statusLoads " << c->statusLoads() << "\n";
-            os << cp << "badLoads " << c->badLoads() << "\n";
-            os << cp << "invalsApplied " << c->invalsApplied()
-               << "\n";
-            os << cp << "queueRefusals " << c->queueRefusals()
-               << "\n";
-            os << cp << "engine.bytesMoved "
-               << c->engine().bytesMoved() << "\n";
-            os << cp << "engine.stalls " << c->engine().stallEvents()
-               << "\n";
+            c->statGroup().dump(os, p);
+            c->engineStatGroup().dump(
+                os, p + c->statGroup().name() + ".");
         }
-        if (auto *ni = n.ni()) {
-            os << p << "ni.messagesSent " << ni->messagesSent()
-               << "\n";
-            os << p << "ni.messagesDelivered "
-               << ni->messagesDelivered() << "\n";
-            os << p << "ni.bytesDelivered " << ni->bytesDelivered()
-               << "\n";
-            os << p << "ni.autoUpdatesSent " << ni->autoUpdatesSent()
-               << "\n";
-            os << p << "ni.autoUpdatesCombined "
-               << ni->autoUpdatesCombined() << "\n";
-        }
+        if (auto *ni = n.ni())
+            ni->statGroup().dump(os, p);
     }
+}
+
+void
+System::dumpStatsJson(std::ostream &os)
+{
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.key("sim");
+    w.beginObject();
+    w.field("ticks", eq_.now());
+    w.field("events", eq_.eventsExecuted());
+    w.endObject();
+    w.key("net");
+    w.beginObject();
+    w.field("bytesRouted", net_.bytesRouted());
+    w.endObject();
+    w.key("nodes");
+    w.beginArray();
+    for (auto &np : nodes_) {
+        Node &n = *np;
+        auto &k = n.kernel();
+        w.beginObject();
+        w.field("id", std::uint64_t(n.id()));
+        stats::JsonDumper d(w);
+        k.statGroup().accept(d);
+        w.key("swap");
+        w.beginObject();
+        w.field("pageWrites", k.backingStore().pageWrites());
+        w.field("pageReads", k.backingStore().pageReads());
+        w.endObject();
+        n.ioBus().statGroup().accept(d);
+        w.key("tlb");
+        w.beginObject();
+        w.field("hits", n.mmu().tlb().hits());
+        w.field("misses", n.mmu().tlb().misses());
+        w.endObject();
+        for (auto *c : k.controllers()) {
+            c->statGroup().accept(d);
+            c->engineStatGroup().accept(d, c->statGroup().name() + ".");
+        }
+        if (auto *ni = n.ni())
+            ni->statGroup().accept(d);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("spans");
+    span::registry().dumpJson(w, /*includeSpans=*/false);
+    w.endObject();
+    w.finish();
+}
+
+RunOptions
+parseRunOptions(int &argc, char **argv)
+{
+    RunOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--stats-json=", 0) == 0) {
+            opts.statsJsonPath = arg.substr(std::strlen("--stats-json="));
+            if (opts.statsJsonPath.empty()) {
+                std::cerr << "--stats-json: empty path\n";
+                opts.ok = false;
+            }
+            continue;
+        }
+        if (arg.rfind("--trace=", 0) == 0) {
+            opts.traceSpec = arg.substr(std::strlen("--trace="));
+            if (!trace::applySpec(opts.traceSpec, &std::cerr)) {
+                std::cerr << "--trace: unknown category in '"
+                          << opts.traceSpec
+                          << "' (want dma,vm,os,ni,bus,xfer or all)\n";
+                opts.ok = false;
+            }
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return opts;
+}
+
+void
+writeStatsJson(System &sys, const RunOptions &opts)
+{
+    if (opts.statsJsonPath.empty())
+        return;
+    std::ofstream out(opts.statsJsonPath);
+    if (!out) {
+        std::cerr << "cannot write " << opts.statsJsonPath << "\n";
+        return;
+    }
+    sys.dumpStatsJson(out);
 }
 
 Tick

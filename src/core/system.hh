@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baseline/fifo_nic.hh"
@@ -181,6 +182,14 @@ class System
      */
     void dumpStats(std::ostream &os);
 
+    /**
+     * Dump the same statistics as one JSON document:
+     * `{ "sim": {...}, "net": {...}, "nodes": [ {...}, ... ],
+     *    "spans": {...} }`, each node carrying its component groups
+     * ("kernel", "bus", "udmaN", "udmaN.engine", "ni", ...).
+     */
+    void dumpStatsJson(std::ostream &os);
+
   private:
     SystemConfig cfg_;
     sim::EventQueue eq_;
@@ -189,6 +198,29 @@ class System
     baseline::FifoFabric fifoFabric_;
     std::vector<std::unique_ptr<Node>> nodes_;
 };
+
+/**
+ * Options shared by every example and bench main: `--stats-json=<path>`
+ * selects a machine-readable result file and `--trace=<cats>` enables
+ * trace categories ("dma,vm,os,ni,bus,xfer" or "all") on stderr.
+ */
+struct RunOptions
+{
+    std::string statsJsonPath; ///< empty: no JSON dump requested
+    std::string traceSpec;     ///< empty: tracing unchanged
+    bool ok = true;            ///< false: a malformed option was seen
+};
+
+/**
+ * Parse and strip `--stats-json=` / `--trace=` from argv (compacting
+ * argc/argv in place so argument-consuming frameworks never see them);
+ * a `--trace=` spec is applied immediately. Other arguments are left
+ * untouched.
+ */
+RunOptions parseRunOptions(int &argc, char **argv);
+
+/** Write sys.dumpStatsJson to opts.statsJsonPath if one was given. */
+void writeStatsJson(System &sys, const RunOptions &opts);
 
 } // namespace shrimp::core
 

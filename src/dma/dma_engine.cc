@@ -16,6 +16,22 @@ DmaEngine::DmaEngine(sim::EventQueue &eq, const sim::MachineParams &params,
             step();
         }
     });
+
+    bandwidth_ = [this] {
+        double us = ticksToUs(Tick(busyTicks_.value()));
+        return us > 0 ? bytes_.value() / us : 0.0;
+    };
+    statGroup_.addScalar("transfersCompleted", &completed_,
+                         "transfers run to completion");
+    statGroup_.addScalar("bytesMoved", &bytes_, "payload bytes moved");
+    statGroup_.addScalar("stalls", &stalls_,
+                         "device flow-control stall events");
+    statGroup_.addScalar("transfersAborted", &aborted_,
+                         "transfers cancelled via abort");
+    statGroup_.addHistogram("xfer_us", &xferUs_,
+                            "completed-transfer latency (us)");
+    statGroup_.addFormula("bandwidth_mb_s", &bandwidth_,
+                          "bytes moved per busy microsecond");
 }
 
 void
@@ -28,6 +44,7 @@ DmaEngine::start(TransferDesc desc)
 
     desc_ = std::move(desc);
     busy_ = true;
+    xferStart_ = eq_.now();
     stalled_ = false;
     chunkInFlight_ = false;
     segIdx_ = 0;
@@ -60,6 +77,7 @@ DmaEngine::abort()
     chunkInFlight_ = false;
     stalled_ = false;
     ++aborted_;
+    busyTicks_ += double(eq_.now() - xferStart_);
     device_.transferFinished(desc_.toDevice, desc_.devOffset,
                              desc_.totalBytes() - left_);
     return true;
@@ -133,6 +151,8 @@ DmaEngine::finish()
 {
     busy_ = false;
     ++completed_;
+    xferUs_.sample(ticksToUs(eq_.now() - xferStart_));
+    busyTicks_ += double(eq_.now() - xferStart_);
     device_.transferFinished(desc_.toDevice, desc_.devOffset,
                              desc_.totalBytes());
     if (desc_.onComplete) {

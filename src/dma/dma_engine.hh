@@ -131,6 +131,12 @@ class DmaEngine
         return std::uint64_t(stalls_.value());
     }
 
+    /** End-to-end transfer latencies (us) for completed transfers. */
+    const stats::Histogram &transferLatency() const { return xferUs_; }
+
+    /** The engine's registered stats ("engine.*"). */
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
   private:
     void step();
     void doChunk(std::uint32_t n);
@@ -173,6 +179,15 @@ class DmaEngine
     stats::Scalar bytes_;
     stats::Scalar stalls_;
     stats::Scalar aborted_;
+    /** Completed-transfer latency, microseconds. */
+    stats::Histogram xferUs_{0, 1024, 32};
+    /** Ticks spent with a transfer programmed (for the bandwidth
+     *  formula; includes aborted time). */
+    stats::Scalar busyTicks_;
+    /** bytesMoved / busy time, MB/s, evaluated at dump. */
+    stats::Formula bandwidth_;
+    stats::StatGroup statGroup_{"engine"};
+    Tick xferStart_ = 0;
     /** Generation counter: chunk events from a previous (aborted)
      *  transfer must not touch the new one. */
     std::uint64_t generation_ = 0;

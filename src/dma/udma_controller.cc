@@ -1,5 +1,6 @@
 #include "dma/udma_controller.hh"
 
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 namespace shrimp::dma
@@ -16,9 +17,26 @@ UdmaController::UdmaController(sim::EventQueue &eq,
     : eq_(eq), params_(params), layout_(layout),
       engine_(eq, params, memory, io_bus, device),
       device_(device), deviceIndex_(device_index),
-      queueDepth_(queue_depth), systemQueueDepth_(system_queue_depth)
+      queueDepth_(queue_depth), systemQueueDepth_(system_queue_depth),
+      ownerName_("udma" + std::to_string(device_index)),
+      statGroup_(ownerName_)
 {
     io_bus.attach(device_index, this);
+
+    statGroup_.addScalar("transfersStarted", &started_,
+                         "transfers handed to the engine");
+    statGroup_.addScalar("statusLoads", &statusLoads_,
+                         "proxy LOAD cycles (status reads)");
+    statGroup_.addScalar("badLoads", &badLoads_,
+                         "LOADs from the wrong proxy space");
+    statGroup_.addScalar("invalsApplied", &invals_,
+                         "Inval events that cleared a latch");
+    statGroup_.addScalar("queueRefusals", &refusals_,
+                         "requests refused with a full queue");
+    statGroup_.addScalar("transfersAborted", &aborts_,
+                         "transfers cancelled by the kernel");
+    statGroup_.addHistogram("initiate_us", &initiateUs_,
+                            "latch-to-start latency incl. queue wait (us)");
 }
 
 bool
@@ -33,12 +51,17 @@ UdmaController::systemRequest(bool to_device, Addr mem_addr,
     req.devOffset = dev_offset;
     req.count = count;
     req.onDone = std::move(on_complete);
+    if (engine_.busy() && systemQueue_.size() >= systemQueueDepth_)
+        return false;
+    // Kernel-initiated transfers have no STORE/LOAD pair; the span
+    // opens and starts at submission.
+    req.spanId = span::registry().open(eq_.now(), ownerName_, count);
+    req.latchTick = eq_.now();
+    span::registry().start(eq_.now(), req.spanId, to_device);
     if (!engine_.busy()) {
         startRequest(req);
         return true;
     }
-    if (systemQueue_.size() >= systemQueueDepth_)
-        return false;
     addPageRefs(req, +1);
     systemQueue_.push_back(std::move(req));
     return true;
@@ -64,6 +87,11 @@ UdmaController::proxyStore(const vm::Decoded &decoded, Addr paddr,
         // TRANSFERRING and the process retries (Section 5).
         return;
     }
+    if (pending_.valid && pending_.spanId) {
+        // A newer STORE overwrites the latched destination.
+        span::registry().close(eq_.now(), pending_.spanId,
+                               span::Outcome::Replaced);
+    }
     pending_.valid = true;
     pending_.paddr = paddr;
     pending_.decoded = decoded;
@@ -71,12 +99,18 @@ UdmaController::proxyStore(const vm::Decoded &decoded, Addr paddr,
     // at initiation.
     pending_.count = std::uint32_t(
         std::min<std::int64_t>(value, 0xffffff));
+    pending_.latchTick = eq_.now();
+    pending_.spanId =
+        span::registry().open(eq_.now(), ownerName_, pending_.count);
 }
 
 void
 UdmaController::inval()
 {
     if (pending_.valid) {
+        if (pending_.spanId)
+            span::registry().close(eq_.now(), pending_.spanId,
+                                   span::Outcome::Inval);
         pending_ = PendingDest();
         ++invals_;
         trace::log(eq_.now(), trace::Category::Dma, "udma", deviceIndex_,
@@ -132,6 +166,9 @@ UdmaController::tryInitiate(const vm::Decoded &decoded, Addr paddr,
     // destination => memory-to-memory or device-to-device, which the
     // basic UDMA device does not support. DestLoaded -> Idle.
     if (decoded.space == pending_.decoded.space) {
+        if (pending_.spanId)
+            span::registry().close(eq_.now(), pending_.spanId,
+                                   span::Outcome::BadLoad);
         pending_ = PendingDest();
         st.wrongSpace = true;
         ++badLoads_;
@@ -144,6 +181,8 @@ UdmaController::tryInitiate(const vm::Decoded &decoded, Addr paddr,
     req.toDevice = pending_.decoded.space == vm::Space::DevProxy;
     req.srcProxy = paddr;
     req.dstProxy = pending_.paddr;
+    req.spanId = pending_.spanId;
+    req.latchTick = pending_.latchTick;
 
     Addr mem_addr, dev_offset;
     if (req.toDevice) {
@@ -167,6 +206,9 @@ UdmaController::tryInitiate(const vm::Decoded &decoded, Addr paddr,
     std::uint8_t err =
         device_.validateTransfer(req.toDevice, dev_offset, req.count);
     if (err != device_error::none) {
+        if (req.spanId)
+            span::registry().close(eq_.now(), req.spanId,
+                                   span::Outcome::DeviceError);
         pending_ = PendingDest();
         st.deviceError = err;
         return;
@@ -176,6 +218,8 @@ UdmaController::tryInitiate(const vm::Decoded &decoded, Addr paddr,
         pending_ = PendingDest();
         st.initiationFailed = false;
         st.remainingBytes = req.count;
+        span::registry().start(eq_.now(), req.spanId, req.toDevice,
+                               req.count);
         startRequest(req);
         return;
     }
@@ -183,6 +227,8 @@ UdmaController::tryInitiate(const vm::Decoded &decoded, Addr paddr,
     // Engine busy: Section 7 queueing.
     if (queue_.size() < queueDepth_) {
         pending_ = PendingDest();
+        span::registry().start(eq_.now(), req.spanId, req.toDevice,
+                               req.count);
         queue_.push_back(req);
         addPageRefs(req, +1);
         st.initiationFailed = false;
@@ -203,6 +249,7 @@ UdmaController::startRequest(const Request &req)
     inFlightValid_ = true;
     addPageRefs(req, +1);
     ++started_;
+    initiateUs_.sample(ticksToUs(eq_.now() - req.latchTick));
     trace::log(eq_.now(), trace::Category::Dma, "udma", deviceIndex_,
                ": start ", req.toDevice ? "mem->dev" : "dev->mem",
                " mem=", req.memAddr, " dev=", req.devOffset,
@@ -224,6 +271,9 @@ UdmaController::engineDone()
     SHRIMP_ASSERT(inFlightValid_, "completion with no in-flight request");
     addPageRefs(inFlight_, -1);
     inFlightValid_ = false;
+    if (inFlight_.spanId)
+        span::registry().close(eq_.now(), inFlight_.spanId,
+                               span::Outcome::Completed);
     auto done_cb = std::move(inFlight_.onDone);
     serviceNextRequest();
     if (done_cb)
@@ -259,6 +309,9 @@ UdmaController::abortTransfer()
     SHRIMP_ASSERT(inFlightValid_, "abort with no in-flight request");
     addPageRefs(inFlight_, -1);
     inFlightValid_ = false;
+    if (inFlight_.spanId)
+        span::registry().close(eq_.now(), inFlight_.spanId,
+                               span::Outcome::Aborted);
     ++aborts_;
     trace::log(eq_.now(), trace::Category::Dma, "udma", deviceIndex_,
                ": transfer aborted by the kernel");

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 
 #include "bus/io_bus.hh"
 #include "dma/dma_engine.hh"
@@ -173,6 +174,21 @@ class UdmaController : public bus::ProxyClient
         return std::uint64_t(statusLoads_.value());
     }
 
+    /** The controller's registered stats ("udmaN.*"). */
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
+    /** The engine's registered stats ("engine.*"). */
+    const stats::StatGroup &engineStatGroup() const
+    {
+        return engine_.statGroup();
+    }
+
+    /** Span id of the currently latched destination (0 if none). */
+    std::uint64_t pendingSpanId() const
+    {
+        return pending_.valid ? pending_.spanId : 0;
+    }
+
   private:
     /** A latched (STORE) destination awaiting its LOAD. */
     struct PendingDest
@@ -181,6 +197,9 @@ class UdmaController : public bus::ProxyClient
         Addr paddr = 0;
         vm::Decoded decoded;
         std::uint32_t count = 0;
+        /** Lifecycle span opened at the latch. */
+        std::uint64_t spanId = 0;
+        Tick latchTick = 0;
     };
 
     /** A fully-specified transfer request. */
@@ -192,6 +211,8 @@ class UdmaController : public bus::ProxyClient
         std::uint32_t count = 0;
         Addr srcProxy = 0;
         Addr dstProxy = 0;
+        std::uint64_t spanId = 0;
+        Tick latchTick = 0;
         /** Kernel completion callback (system requests only). */
         std::function<void()> onDone;
     };
@@ -230,6 +251,10 @@ class UdmaController : public bus::ProxyClient
     stats::Scalar invals_;
     stats::Scalar refusals_;
     stats::Scalar statusLoads_;
+    /** Latch (STORE) to transfer start, including queue wait (us). */
+    stats::Histogram initiateUs_{0, 256, 16};
+    std::string ownerName_;
+    stats::StatGroup statGroup_;
 };
 
 } // namespace shrimp::dma

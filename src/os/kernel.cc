@@ -19,6 +19,31 @@ Kernel::Kernel(sim::EventQueue &eq, const sim::MachineParams &params,
     // Hand frames out low-to-high for reproducibility.
     for (std::uint64_t f = memory.frames(); f > 0; --f)
         freeFrames_.push_back(f - 1);
+
+    freeFramesNow_ = [this] { return double(freeFrames_.size()); };
+    statGroup_.addScalar("contextSwitches", &switches_,
+                         "dispatches of a new process");
+    statGroup_.addScalar("pageFaults", &memFaults_,
+                         "real-memory page faults");
+    statGroup_.addScalar("proxyFaults", &proxyFaults_,
+                         "memory-proxy page faults");
+    statGroup_.addScalar("proxyWriteUpgrades", &proxyUpgrades_,
+                         "I3 write-upgrade faults");
+    statGroup_.addScalar("evictions", &evictions_, "frames evicted");
+    statGroup_.addScalar("evictionI4Skips", &i4Skips_,
+                         "eviction victims skipped for I4");
+    statGroup_.addScalar("processesKilled", &kills_,
+                         "processes killed by the kernel");
+    statGroup_.addScalar("i1_invals", &i1Invals_,
+                         "I1 context-switch Inval STOREs");
+    statGroup_.addScalar("i2_shootdowns", &i2Shootdowns_,
+                         "I2 proxy-mapping shootdowns");
+    statGroup_.addScalar("i3_dirty_faults", &i3DirtyFaults_,
+                         "I3 proxy write faults dirtying the real page");
+    statGroup_.addHistogram("fault_us", &faultUs_,
+                            "fault-handler latency (us)");
+    statGroup_.addFormula("freeFrames", &freeFramesNow_,
+                          "free physical frames");
 }
 
 Kernel::~Kernel() = default;
@@ -143,6 +168,7 @@ Kernel::issueOp(Process &proc, UserOp *op, std::coroutine_handle<> h)
             if (tr.ok())
                 break;
             auto out = handleFault(proc, op->vaddr, is_write, tr.fault);
+            faultUs_.sample(ticksToUs(out.latency));
             lat += out.latency;
             if (out.killed) {
                 after = After::Kill;
@@ -286,6 +312,7 @@ Kernel::dispatch()
     // with a single STORE (of a negative nbytes) per controller.
     for (auto *c : controllers_) {
         c->inval();
+        ++i1Invals_;
         lat += params_.ioAccess();
     }
     mmu_.activate(&next->pageTable_);
@@ -509,6 +536,7 @@ Kernel::handleProxyFault(Process &proc, Addr va, unsigned device,
         SHRIMP_ASSERT(real_pte && real_pte->valid,
                       "I2 violated: proxy mapping without real mapping");
         real_pte->dirty = true;
+        ++i3DirtyFaults_;
         vm::Pte *proxy_pte = proc.pageTable_.lookup(proxy_vpn);
         SHRIMP_ASSERT(proxy_pte && proxy_pte->valid, "proxy PTE vanished");
         if (mmu_.activeTable() == &proc.pageTable_)
@@ -540,8 +568,10 @@ Kernel::handleProxyFault(Process &proc, Addr va, unsigned device,
         // Main scheme (I3): mark the real page dirty before granting
         // a writable proxy mapping. Under the alternative scheme the
         // proxy PTE's own dirty bit carries the information instead.
-        if (i3Policy_ == I3Policy::WriteProtectProxy)
+        if (i3Policy_ == I3Policy::WriteProtectProxy) {
             real_pte->dirty = true;
+            ++i3DirtyFaults_;
+        }
     }
 
     vm::Pte proxy_pte;
@@ -720,6 +750,7 @@ Kernel::invalidateProxyMappings(Process &proc, std::uint64_t real_vpn)
             if (mmu_.activeTable() == &proc.pageTable_)
                 mmu_.invalidatePage(proxy_vpn);
             proc.pageTable_.remove(proxy_vpn);
+            ++i2Shootdowns_;
         }
     }
 }

@@ -245,6 +245,28 @@ class Kernel
         return std::uint64_t(kills_.value());
     }
 
+    /** I1: context-switch Inval STOREs issued to controllers. */
+    std::uint64_t i1Invals() const
+    {
+        return std::uint64_t(i1Invals_.value());
+    }
+    /** I2: proxy PTEs removed because the real mapping changed. */
+    std::uint64_t i2Shootdowns() const
+    {
+        return std::uint64_t(i2Shootdowns_.value());
+    }
+    /** I3: proxy write faults that marked the real page dirty. */
+    std::uint64_t i3DirtyFaults() const
+    {
+        return std::uint64_t(i3DirtyFaults_.value());
+    }
+
+    /** Fault-handler latency samples (us). */
+    const stats::Histogram &faultLatency() const { return faultUs_; }
+
+    /** The kernel's registered stats ("kernel.*"). */
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
   private:
     /** What to do with the process once its op's latency elapses. */
     enum class After
@@ -360,6 +382,14 @@ class Kernel
     stats::Scalar evictions_;
     stats::Scalar i4Skips_;
     stats::Scalar kills_;
+    /** Invariant-event counters (Section 6). */
+    stats::Scalar i1Invals_;
+    stats::Scalar i2Shootdowns_;
+    stats::Scalar i3DirtyFaults_;
+    /** Fault-handler latency, microseconds. */
+    stats::Histogram faultUs_{0, 64, 16};
+    stats::Formula freeFramesNow_;
+    stats::StatGroup statGroup_{"kernel"};
 };
 
 } // namespace shrimp::os

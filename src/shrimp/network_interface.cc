@@ -18,6 +18,19 @@ NetworkInterface::NetworkInterface(sim::EventQueue &eq,
       ioBus_(io_bus), net_(net), pageBytes_(page_bytes)
 {
     net_.attach(node, this);
+
+    statGroup_.addScalar("messagesSent", &sent_,
+                         "messages launched onto the backplane");
+    statGroup_.addScalar("messagesDelivered", &delivered_,
+                         "complete messages deposited in memory");
+    statGroup_.addScalar("bytesDelivered", &rxBytes_,
+                         "payload bytes deposited in memory");
+    statGroup_.addScalar("autoUpdatesSent", &autoSent_,
+                         "automatic-update packets sent");
+    statGroup_.addScalar("autoUpdatesCombined", &autoCombined_,
+                         "stores merged by update combining");
+    statGroup_.addHistogram("delivery_us", &deliveryUs_,
+                            "sender start to last byte visible (us)");
 }
 
 // --------------------------------------------------------------------
@@ -450,6 +463,8 @@ NetworkInterface::rxPump()
                     [this, d] {
                         ++delivered_;
                         lastDelivery_ = eq_.now();
+                        deliveryUs_.sample(
+                            ticksToUs(eq_.now() - d.senderStartTick));
                         trace::log(eq_.now(), trace::Category::Ni,
                                    "node ", node_,
                                    " delivery complete from node ",

@@ -128,6 +128,15 @@ class NetworkInterface : public dma::UdmaDevice
     }
     Tick lastDeliveryTick() const { return lastDelivery_; }
 
+    /** Sender-start to last-byte delivery latencies (us). */
+    const stats::Histogram &deliveryLatency() const
+    {
+        return deliveryUs_;
+    }
+
+    /** The NI's registered stats ("ni.*"). */
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
     // ------------------------------------------- UdmaDevice interface
     std::string deviceName() const override { return "shrimp-ni"; }
 
@@ -246,6 +255,9 @@ class NetworkInterface : public dma::UdmaDevice
     stats::Scalar sent_;
     stats::Scalar delivered_;
     stats::Scalar rxBytes_;
+    /** Sender engine start to last byte in memory, microseconds. */
+    stats::Histogram deliveryUs_{0, 1024, 32};
+    stats::StatGroup statGroup_{"ni"};
     Tick lastDelivery_ = 0;
 };
 

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * A minimal streaming JSON writer.
+ *
+ * Used by the stats package's dumpJson, the span registry, and the
+ * benchmark result files. Emits pretty-printed, strictly valid JSON:
+ * keys in the order they are written (callers rely on this for stable,
+ * diffable output), strings escaped, and non-finite doubles emitted as
+ * 0 (JSON has no NaN/Inf).
+ */
+
+#ifndef SHRIMP_SIM_JSON_HH
+#define SHRIMP_SIM_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace shrimp::sim
+{
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void
+    beginObject()
+    {
+        beforeValue();
+        os_ << '{';
+        stack_.push_back(Frame{true, false});
+    }
+
+    void
+    endObject()
+    {
+        SHRIMP_ASSERT(!stack_.empty() && stack_.back().isObject,
+                      "endObject outside an object");
+        bool had = stack_.back().hasItems;
+        stack_.pop_back();
+        if (had) {
+            os_ << '\n';
+            indent();
+        }
+        os_ << '}';
+    }
+
+    void
+    beginArray()
+    {
+        beforeValue();
+        os_ << '[';
+        stack_.push_back(Frame{false, false});
+    }
+
+    void
+    endArray()
+    {
+        SHRIMP_ASSERT(!stack_.empty() && !stack_.back().isObject,
+                      "endArray outside an array");
+        bool had = stack_.back().hasItems;
+        stack_.pop_back();
+        if (had) {
+            os_ << '\n';
+            indent();
+        }
+        os_ << ']';
+    }
+
+    /** Write an object key; the next value call supplies its value. */
+    void
+    key(std::string_view k)
+    {
+        SHRIMP_ASSERT(!stack_.empty() && stack_.back().isObject,
+                      "key outside an object");
+        SHRIMP_ASSERT(!keyPending_, "two keys in a row");
+        comma();
+        writeString(k);
+        os_ << ": ";
+        keyPending_ = true;
+    }
+
+    void
+    value(std::string_view v)
+    {
+        beforeValue();
+        writeString(v);
+    }
+
+    void
+    value(const char *v)
+    {
+        value(std::string_view(v));
+    }
+
+    void
+    value(bool v)
+    {
+        beforeValue();
+        os_ << (v ? "true" : "false");
+    }
+
+    void
+    value(double v)
+    {
+        beforeValue();
+        if (!std::isfinite(v)) {
+            os_ << 0;
+            return;
+        }
+        if (v == std::int64_t(v)
+                && std::abs(v) < 9.0e15) {
+            os_ << std::int64_t(v);
+            return;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.9g", v);
+        os_ << buf;
+    }
+
+    void
+    value(std::uint64_t v)
+    {
+        beforeValue();
+        os_ << v;
+    }
+
+    void
+    value(std::int64_t v)
+    {
+        beforeValue();
+        os_ << v;
+    }
+
+    void value(int v) { value(std::int64_t(v)); }
+    void value(unsigned v) { value(std::uint64_t(v)); }
+
+    // Key + value conveniences.
+    template <typename T>
+    void
+    field(std::string_view k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Finish the document (top-level value must be closed). */
+    void
+    finish()
+    {
+        SHRIMP_ASSERT(stack_.empty(), "unclosed JSON container");
+        os_ << '\n';
+    }
+
+  private:
+    struct Frame
+    {
+        bool isObject = false;
+        bool hasItems = false;
+    };
+
+    void
+    indent()
+    {
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+
+    void
+    comma()
+    {
+        if (stack_.back().hasItems)
+            os_ << ',';
+        stack_.back().hasItems = true;
+        os_ << '\n';
+        indent();
+    }
+
+    /** Handle separators for a value in the current context. */
+    void
+    beforeValue()
+    {
+        if (keyPending_) {
+            keyPending_ = false;
+            return;
+        }
+        if (!stack_.empty()) {
+            SHRIMP_ASSERT(!stack_.back().isObject,
+                          "object member without a key");
+            comma();
+        }
+    }
+
+    void
+    writeString(std::string_view s)
+    {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                os_ << "\\\"";
+                break;
+              case '\\':
+                os_ << "\\\\";
+                break;
+              case '\n':
+                os_ << "\\n";
+                break;
+              case '\t':
+                os_ << "\\t";
+                break;
+              case '\r':
+                os_ << "\\r";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  unsigned(static_cast<unsigned char>(c)));
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    bool keyPending_ = false;
+};
+
+} // namespace shrimp::sim
+
+#endif // SHRIMP_SIM_JSON_HH

@@ -1,0 +1,169 @@
+#include "sim/span.hh"
+
+#include "sim/json.hh"
+#include "sim/trace.hh"
+
+namespace shrimp::span
+{
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Active:
+        return "active";
+      case Outcome::Completed:
+        return "completed";
+      case Outcome::Inval:
+        return "inval";
+      case Outcome::BadLoad:
+        return "bad_load";
+      case Outcome::DeviceError:
+        return "device_error";
+      case Outcome::Aborted:
+        return "aborted";
+      case Outcome::Replaced:
+        return "replaced";
+      default:
+        return "?";
+    }
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+Registry &
+registry()
+{
+    return Registry::instance();
+}
+
+std::uint64_t
+Registry::open(Tick now, const std::string &owner, std::uint64_t bytes)
+{
+    std::uint64_t id = nextId_++;
+    Span s;
+    s.id = id;
+    s.owner = owner;
+    s.bytes = bytes;
+    s.latched = now;
+    active_.emplace(id, std::move(s));
+    ++summary_.opened;
+    trace::log(now, trace::Category::Xfer, owner, ": xfer#", id,
+               " latched bytes=", bytes);
+    return id;
+}
+
+void
+Registry::start(Tick now, std::uint64_t id, bool toDevice,
+                std::uint64_t bytes)
+{
+    auto it = active_.find(id);
+    if (it == active_.end())
+        return;
+    it->second.started = now;
+    it->second.toDevice = toDevice;
+    if (bytes)
+        it->second.bytes = bytes;
+    trace::log(now, trace::Category::Xfer, it->second.owner, ": xfer#",
+               id, " transferring ", toDevice ? "mem->dev" : "dev->mem",
+               " bytes=", it->second.bytes);
+}
+
+void
+Registry::close(Tick now, std::uint64_t id, Outcome outcome)
+{
+    auto it = active_.find(id);
+    if (it == active_.end())
+        return;
+    Span s = std::move(it->second);
+    active_.erase(it);
+    s.ended = now;
+    s.outcome = outcome;
+    ++summary_.outcomes[unsigned(outcome)];
+    if (outcome == Outcome::Completed)
+        summary_.bytesCompleted += s.bytes;
+    trace::log(now, trace::Category::Xfer, s.owner, ": xfer#", id, ' ',
+               outcomeName(outcome), " bytes=", s.bytes, " total_us=",
+               s.totalUs());
+    retained_.push_back(std::move(s));
+    trim();
+}
+
+const Span *
+Registry::find(std::uint64_t id) const
+{
+    auto it = active_.find(id);
+    if (it != active_.end())
+        return &it->second;
+    for (const auto &s : retained_) {
+        if (s.id == id)
+            return &s;
+    }
+    return nullptr;
+}
+
+Summary
+Registry::summary() const
+{
+    Summary s = summary_;
+    s.active = active_.size();
+    return s;
+}
+
+void
+Registry::clear()
+{
+    nextId_ = 1;
+    summary_ = Summary{};
+    active_.clear();
+    retained_.clear();
+}
+
+void
+Registry::trim()
+{
+    while (retained_.size() > retainLimit_)
+        retained_.pop_front();
+}
+
+void
+Registry::dumpJson(sim::JsonWriter &w, bool includeSpans) const
+{
+    Summary s = summary();
+    w.beginObject();
+    w.field("opened", s.opened);
+    w.field("active", s.active);
+    w.field("bytes_completed", s.bytesCompleted);
+    w.key("outcomes");
+    w.beginObject();
+    // Skip Active: live spans are reported by the `active` count.
+    for (unsigned i = 1; i < unsigned(Outcome::NumOutcomes); ++i)
+        w.field(outcomeName(Outcome(i)), s.outcomes[i]);
+    w.endObject();
+    if (includeSpans) {
+        w.key("spans");
+        w.beginArray();
+        for (const auto &sp : retained_) {
+            w.beginObject();
+            w.field("id", sp.id);
+            w.field("owner", sp.owner);
+            w.field("bytes", sp.bytes);
+            w.field("outcome", outcomeName(sp.outcome));
+            w.field("to_device", sp.toDevice);
+            w.field("latched_ps", sp.latched);
+            w.field("started_ps", sp.started);
+            w.field("ended_ps", sp.ended);
+            w.field("total_us", sp.totalUs());
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+}
+
+} // namespace shrimp::span

@@ -3,9 +3,14 @@
  * A small gem5-flavoured statistics package.
  *
  * Components own named statistics (scalars, averages, histograms,
- * distributions by key) registered in a StatGroup; a System can dump
- * every group to a stream at the end of a run. Stats never affect
+ * distributions by key, derived formulas) registered in a StatGroup; a
+ * System can dump every group to a stream at the end of a run, either
+ * as text or as JSON via the visitor interface. Stats never affect
  * simulated behaviour.
+ *
+ * Naming convention: a stat's full name is `component.metric`
+ * (e.g. `kernel.i1_invals`, `engine.xfer_us`); System adds a
+ * `nodeN.` prefix when dumping per-node groups.
  */
 
 #ifndef SHRIMP_SIM_STATS_HH
@@ -13,10 +18,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
+
+namespace shrimp::sim { class JsonWriter; }
 
 namespace shrimp::stats
 {
@@ -117,12 +125,149 @@ class Histogram
         return lo_ + (hi_ - lo_) * double(i) / double(buckets_);
     }
 
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double bucketWidth() const { return (hi_ - lo_) / double(buckets_); }
+
   private:
     double lo_;
     double hi_;
     std::size_t buckets_;
     std::vector<std::uint64_t> counts_;
     Average stats_;
+};
+
+/** Sparse per-key event counts (e.g. queue depth at dispatch). */
+class Distribution
+{
+  public:
+    void
+    sample(std::int64_t key, std::uint64_t n = 1)
+    {
+        counts_[key] += n;
+        total_ += n;
+    }
+
+    void
+    reset()
+    {
+        counts_.clear();
+        total_ = 0;
+    }
+
+    std::uint64_t total() const { return total_; }
+    const std::map<std::int64_t, std::uint64_t> &counts() const
+    {
+        return counts_;
+    }
+
+  private:
+    std::map<std::int64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A derived stat evaluated at dump time from other stats
+ * (e.g. bytes moved / busy time = bandwidth).
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+    explicit Formula(std::function<double()> fn) : fn_(std::move(fn)) {}
+
+    Formula &
+    operator=(std::function<double()> fn)
+    {
+        fn_ = std::move(fn);
+        return *this;
+    }
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * Visitor over a StatGroup's registered stats. beginGroup receives the
+ * group's full dotted name (including any dump prefix); per-stat hooks
+ * receive the short metric name. Stats are visited in registration
+ * order, scalars first, then averages, histograms, distributions, and
+ * formulas last.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void beginGroup(const std::string &fullName) { (void)fullName; }
+    virtual void endGroup() {}
+
+    virtual void scalar(const std::string &name, const std::string &desc,
+                        const Scalar &s) = 0;
+    virtual void average(const std::string &name, const std::string &desc,
+                         const Average &a) = 0;
+    virtual void histogram(const std::string &name, const std::string &desc,
+                           const Histogram &h) = 0;
+    virtual void distribution(const std::string &name,
+                              const std::string &desc,
+                              const Distribution &d) = 0;
+    virtual void formula(const std::string &name, const std::string &desc,
+                         const Formula &f) = 0;
+};
+
+/** Prints `group.metric value` lines, gem5-dump style. */
+class TextDumper : public StatVisitor
+{
+  public:
+    explicit TextDumper(std::ostream &os) : os_(os) {}
+
+    void beginGroup(const std::string &fullName) override;
+    void scalar(const std::string &name, const std::string &desc,
+                const Scalar &s) override;
+    void average(const std::string &name, const std::string &desc,
+                 const Average &a) override;
+    void histogram(const std::string &name, const std::string &desc,
+                   const Histogram &h) override;
+    void distribution(const std::string &name, const std::string &desc,
+                      const Distribution &d) override;
+    void formula(const std::string &name, const std::string &desc,
+                 const Formula &f) override;
+
+  private:
+    std::ostream &os_;
+    std::string group_;
+};
+
+/**
+ * Writes each group as a JSON object keyed by its full name. The
+ * caller owns the surrounding JsonWriter and must already be inside an
+ * object; one `"group": { "metric": ... }` member is emitted per
+ * visited group. Scalars and formulas become numbers; averages,
+ * histograms, and distributions become objects (histograms carry a
+ * `buckets` array plus the bucket geometry).
+ */
+class JsonDumper : public StatVisitor
+{
+  public:
+    explicit JsonDumper(sim::JsonWriter &w) : w_(w) {}
+
+    void beginGroup(const std::string &fullName) override;
+    void endGroup() override;
+    void scalar(const std::string &name, const std::string &desc,
+                const Scalar &s) override;
+    void average(const std::string &name, const std::string &desc,
+                 const Average &a) override;
+    void histogram(const std::string &name, const std::string &desc,
+                   const Histogram &h) override;
+    void distribution(const std::string &name, const std::string &desc,
+                      const Distribution &d) override;
+    void formula(const std::string &name, const std::string &desc,
+                 const Formula &f) override;
+
+  private:
+    sim::JsonWriter &w_;
 };
 
 /**
@@ -153,10 +298,37 @@ class StatGroup
         averages_.push_back({name, desc, a});
     }
 
+    void
+    addHistogram(const std::string &name, const Histogram *h,
+                 const std::string &desc = {})
+    {
+        histograms_.push_back({name, desc, h});
+    }
+
+    void
+    addDistribution(const std::string &name, const Distribution *d,
+                    const std::string &desc = {})
+    {
+        distributions_.push_back({name, desc, d});
+    }
+
+    void
+    addFormula(const std::string &name, const Formula *f,
+               const std::string &desc = {})
+    {
+        formulas_.push_back({name, desc, f});
+    }
+
     const std::string &name() const { return name_; }
 
+    /** Visit every registered stat; prefix is prepended to the name. */
+    void accept(StatVisitor &v, const std::string &prefix = {}) const;
+
     /** Print all registered stats, one per line, gem5-dump style. */
-    void dump(std::ostream &os) const;
+    void dump(std::ostream &os, const std::string &prefix = {}) const;
+
+    /** Write this group's stats as one standalone JSON object. */
+    void dumpJson(std::ostream &os) const;
 
   private:
     template <typename T>
@@ -170,6 +342,9 @@ class StatGroup
     std::string name_;
     std::vector<Entry<Scalar>> scalars_;
     std::vector<Entry<Average>> averages_;
+    std::vector<Entry<Histogram>> histograms_;
+    std::vector<Entry<Distribution>> distributions_;
+    std::vector<Entry<Formula>> formulas_;
 };
 
 } // namespace shrimp::stats

@@ -5,7 +5,7 @@ namespace shrimp::trace
 
 namespace
 {
-unsigned enabledMask = 0;
+unsigned gEnabledMask = 0;
 std::ostream *sinkPtr = nullptr;
 } // namespace
 
@@ -23,6 +23,8 @@ categoryName(Category c)
         return "ni";
       case Category::Bus:
         return "bus";
+      case Category::Xfer:
+        return "xfer";
       default:
         return "?";
     }
@@ -31,25 +33,70 @@ categoryName(Category c)
 void
 enable(Category c)
 {
-    enabledMask |= 1u << unsigned(c);
+    gEnabledMask |= 1u << unsigned(c);
 }
 
 void
 disable(Category c)
 {
-    enabledMask &= ~(1u << unsigned(c));
+    gEnabledMask &= ~(1u << unsigned(c));
 }
 
 void
 disableAll()
 {
-    enabledMask = 0;
+    gEnabledMask = 0;
 }
 
 bool
 enabled(Category c)
 {
-    return sinkPtr && (enabledMask & (1u << unsigned(c)));
+    return sinkPtr && (gEnabledMask & (1u << unsigned(c)));
+}
+
+unsigned
+enabledMask()
+{
+    return gEnabledMask;
+}
+
+void
+setEnabledMask(unsigned mask)
+{
+    gEnabledMask = mask;
+}
+
+bool
+applySpec(const std::string &spec, std::ostream *os)
+{
+    unsigned mask = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        auto comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            mask = ~0u;
+            continue;
+        }
+        bool found = false;
+        for (unsigned i = 0; i < unsigned(Category::NumCategories); ++i) {
+            if (tok == categoryName(Category(i))) {
+                mask |= 1u << i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    gEnabledMask = mask;
+    setSink(os);
+    return true;
 }
 
 void

@@ -29,6 +29,7 @@ enum class Category : unsigned
     Os,
     Ni,
     Bus,
+    Xfer,
     NumCategories,
 };
 
@@ -42,6 +43,18 @@ void disableAll();
 
 /** Is this category currently traced (and a sink installed)? */
 bool enabled(Category c);
+
+/** The raw enable bitmask (for save/restore). */
+unsigned enabledMask();
+void setEnabledMask(unsigned mask);
+
+/**
+ * Enable categories from a comma-separated spec ("dma,xfer" or "all")
+ * and install the sink. Returns false (leaving state untouched) if the
+ * spec names an unknown category. Used by SHRIMP_TRACE env parsing and
+ * the bench `--trace=` option.
+ */
+bool applySpec(const std::string &spec, std::ostream *os);
 
 /** Install the output stream (nullptr silences everything). */
 void setSink(std::ostream *os);
@@ -83,6 +96,8 @@ log(Tick now, Category c, const Args &...args)
 /**
  * RAII capture helper for tests: redirects the sink to an internal
  * stringstream and enables the given categories for its lifetime.
+ * Nestable: the destructor restores both the previous sink and the
+ * previous enable mask.
  */
 class Capture
 {
@@ -90,14 +105,16 @@ class Capture
     explicit Capture(std::initializer_list<Category> cats)
     {
         prevSink_ = sink();
+        prevMask_ = enabledMask();
         setSink(&buf_);
+        disableAll();
         for (auto c : cats)
             enable(c);
     }
 
     ~Capture()
     {
-        disableAll();
+        setEnabledMask(prevMask_);
         setSink(prevSink_);
     }
 
@@ -115,6 +132,7 @@ class Capture
   private:
     std::ostringstream buf_;
     std::ostream *prevSink_ = nullptr;
+    unsigned prevMask_ = 0;
 };
 
 } // namespace shrimp::trace

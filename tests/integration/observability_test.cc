@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Observability integration tests: the transfer-span registry, the
+ * kernel invariant counters, and the machine-readable stats dump,
+ * exercised through full-System runs rather than unit fixtures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../support/mini_json.hh"
+#include "core/system.hh"
+#include "core/udma_lib.hh"
+#include "sim/span.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+namespace
+{
+
+class ObservabilityTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { span::registry().clear(); }
+    void TearDown() override { span::registry().clear(); }
+};
+
+} // namespace
+
+/**
+ * Invariant I1: a context switch while a destination is latched (the
+ * STORE happened, the initiating LOAD did not) must Inval the pending
+ * sequence — visible in the kernel counter, the controller counter,
+ * and as a span closed with outcome Inval.
+ */
+TEST_F(ObservabilityTest, ContextSwitchInvalAbortsLatchedSpan)
+{
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = 4 << 20;
+    cfg.params.quantumUs = 50.0; // switch aggressively
+    DeviceConfig fb;
+    fb.kind = DeviceKind::FrameBuffer;
+    cfg.node.devices.push_back(fb);
+    System sys(cfg);
+    auto &node = sys.node(0);
+
+    bool latched = false;
+    node.kernel().spawn(
+        "latcher", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 1);
+            Addr win = co_await ctx.sysMapDeviceProxy(0, 0, 1, true);
+            // First half of the two-reference sequence only: latch
+            // the destination, never issue the initiating LOAD.
+            co_await ctx.store(win, 256);
+            latched = true;
+            // Burn CPU across several quanta so a switch lands while
+            // the latch is pending.
+            for (int i = 0; i < 20; ++i)
+                co_await ctx.compute(20000);
+        });
+    node.kernel().spawn(
+        "competitor", [&](os::UserContext &ctx) -> sim::ProcTask {
+            for (int i = 0; i < 20; ++i)
+                co_await ctx.compute(20000);
+        });
+
+    sys.runUntilAllDone(Tick(30) * tickSec);
+
+    EXPECT_GE(node.kernel().i1Invals(), 1u);
+    EXPECT_GE(node.controller(0)->invalsApplied(), 1u);
+    EXPECT_TRUE(latched);
+
+    auto sum = span::registry().summary();
+    EXPECT_GE(sum.opened, 1u);
+    ASSERT_GE(sum.count(span::Outcome::Inval), 1u);
+    EXPECT_EQ(sum.count(span::Outcome::Completed), 0u);
+    EXPECT_EQ(sum.active, 0u);
+
+    // The retained span shows the latch but no transfer start.
+    bool found = false;
+    for (const auto &s : span::registry().retained()) {
+        if (s.outcome != span::Outcome::Inval)
+            continue;
+        found = true;
+        EXPECT_EQ(s.bytes, 256u);
+        EXPECT_EQ(s.started, 0u);
+        EXPECT_GT(s.ended, s.latched);
+    }
+    EXPECT_TRUE(found);
+}
+
+/** A completed transfer leaves a Completed span with sane phases. */
+TEST_F(ObservabilityTest, CompletedTransferClosesSpan)
+{
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = 4 << 20;
+    DeviceConfig fb;
+    fb.kind = DeviceKind::FrameBuffer;
+    cfg.node.devices.push_back(fb);
+    System sys(cfg);
+    auto &node = sys.node(0);
+
+    node.kernel().spawn(
+        "writer", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 0xAB);
+            Addr win = co_await ctx.sysMapDeviceProxy(0, 0, 1, true);
+            co_await udmaTransfer(ctx, 0, win, buf, 512, true);
+        });
+    sys.runUntilAllDone();
+
+    auto sum = span::registry().summary();
+    EXPECT_GE(sum.count(span::Outcome::Completed), 1u);
+    EXPECT_GE(sum.bytesCompleted, 512u);
+    EXPECT_EQ(sum.active, 0u);
+
+    const auto &spans = span::registry().retained();
+    ASSERT_FALSE(spans.empty());
+    const auto &s = spans.front();
+    EXPECT_EQ(s.outcome, span::Outcome::Completed);
+    EXPECT_TRUE(s.toDevice);
+    EXPECT_GE(s.started, s.latched);
+    EXPECT_GT(s.ended, s.started);
+    EXPECT_GT(s.totalUs(), 0.0);
+
+    // The engine's latency histogram saw the same transfer.
+    EXPECT_EQ(node.controller(0)->transfersStarted(), 1u);
+}
+
+/** System::dumpStatsJson emits one parseable document covering every
+ *  component group, the invariant counters, and the span summary. */
+TEST_F(ObservabilityTest, DumpStatsJsonParses)
+{
+    SystemConfig cfg;
+    cfg.nodes = 1;
+    cfg.node.memBytes = 4 << 20;
+    DeviceConfig fb;
+    fb.kind = DeviceKind::FrameBuffer;
+    cfg.node.devices.push_back(fb);
+    System sys(cfg);
+    auto &node = sys.node(0);
+
+    node.kernel().spawn(
+        "writer", [&](os::UserContext &ctx) -> sim::ProcTask {
+            Addr buf = co_await ctx.sysAllocMemory(4096);
+            co_await ctx.store(buf, 0xCD);
+            Addr win = co_await ctx.sysMapDeviceProxy(0, 0, 1, true);
+            co_await udmaTransfer(ctx, 0, win, buf, 4096, true);
+        });
+    sys.runUntilAllDone();
+
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+
+    minijson::Value doc;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(os.str(), doc, &err)) << err;
+
+    EXPECT_GT(doc.path("sim.ticks")->number, 0.0);
+    const minijson::Value *nodes = doc.find("nodes");
+    ASSERT_NE(nodes, nullptr);
+    ASSERT_EQ(nodes->array.size(), 1u);
+    const minijson::Value &n0 = nodes->array[0];
+
+    // Kernel group with the invariant counters.
+    ASSERT_NE(n0.path("kernel.i1_invals"), nullptr);
+    ASSERT_NE(n0.path("kernel.i2_shootdowns"), nullptr);
+    ASSERT_NE(n0.path("kernel.i3_dirty_faults"), nullptr);
+    ASSERT_NE(n0.path("kernel.fault_us.buckets"), nullptr);
+
+    // Controller and engine groups ("udma0", "udma0.engine").
+    EXPECT_EQ(n0.path("udma0.transfersStarted")->number, 1.0);
+    const minijson::Value *xfer = n0.path("udma0.engine.xfer_us");
+    ASSERT_NE(xfer, nullptr);
+    EXPECT_EQ(xfer->path("type")->str, "histogram");
+    EXPECT_EQ(xfer->path("count")->number, 1.0);
+    ASSERT_NE(n0.path("bus.burst_bytes.buckets"), nullptr);
+
+    // Span summary rides along.
+    EXPECT_GE(doc.path("spans.opened")->number, 1.0);
+    EXPECT_GE(doc.path("spans.outcomes.completed")->number, 1.0);
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the transfer-lifecycle span registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../support/mini_json.hh"
+#include "sim/json.hh"
+#include "sim/span.hh"
+#include "sim/trace.hh"
+
+using namespace shrimp;
+using namespace shrimp::span;
+
+namespace
+{
+
+class SpanRegistryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { registry().clear(); }
+    void TearDown() override { registry().clear(); }
+};
+
+} // namespace
+
+TEST_F(SpanRegistryTest, LifecycleLatchStartComplete)
+{
+    auto id = registry().open(100, "udma0", 4096);
+    EXPECT_GE(id, 1u);
+    EXPECT_EQ(registry().activeCount(), 1u);
+
+    const Span *s = registry().find(id);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->active());
+    EXPECT_EQ(s->latched, 100u);
+    EXPECT_EQ(s->bytes, 4096u);
+    EXPECT_EQ(s->owner, "udma0");
+
+    registry().start(250, id, /*toDevice=*/true);
+    s = registry().find(id);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->started, 250u);
+    EXPECT_TRUE(s->toDevice);
+
+    registry().close(1100, id, Outcome::Completed);
+    EXPECT_EQ(registry().activeCount(), 0u);
+    s = registry().find(id);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->outcome, Outcome::Completed);
+    EXPECT_EQ(s->ended, 1100u);
+    EXPECT_GT(s->totalUs(), 0.0);
+
+    auto sum = registry().summary();
+    EXPECT_EQ(sum.opened, 1u);
+    EXPECT_EQ(sum.active, 0u);
+    EXPECT_EQ(sum.count(Outcome::Completed), 1u);
+    EXPECT_EQ(sum.bytesCompleted, 4096u);
+}
+
+TEST_F(SpanRegistryTest, IdsAreMonotonic)
+{
+    auto a = registry().open(1, "udma0", 64);
+    auto b = registry().open(2, "udma0", 64);
+    auto c = registry().open(3, "udma1", 64);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+}
+
+TEST_F(SpanRegistryTest, StartCanClampBytes)
+{
+    auto id = registry().open(10, "udma0", 100000);
+    registry().start(20, id, true, 4096);
+    const Span *s = registry().find(id);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->bytes, 4096u);
+}
+
+TEST_F(SpanRegistryTest, TerminalOutcomesAreCounted)
+{
+    auto a = registry().open(1, "udma0", 64);
+    registry().close(2, a, Outcome::Inval);
+    auto b = registry().open(3, "udma0", 64);
+    registry().close(4, b, Outcome::BadLoad);
+    auto c = registry().open(5, "udma0", 64);
+    registry().close(6, c, Outcome::Replaced);
+
+    auto sum = registry().summary();
+    EXPECT_EQ(sum.opened, 3u);
+    EXPECT_EQ(sum.count(Outcome::Inval), 1u);
+    EXPECT_EQ(sum.count(Outcome::BadLoad), 1u);
+    EXPECT_EQ(sum.count(Outcome::Replaced), 1u);
+    EXPECT_EQ(sum.bytesCompleted, 0u); // nothing completed
+    EXPECT_EQ(registry().retained().size(), 3u);
+    EXPECT_EQ(registry().retained().front().id, a);
+}
+
+TEST_F(SpanRegistryTest, RetainLimitBoundsMemoryNotAggregates)
+{
+    registry().setRetainLimit(4);
+    for (int i = 0; i < 10; ++i) {
+        auto id = registry().open(Tick(i), "udma0", 8);
+        registry().close(Tick(i) + 1, id, Outcome::Completed);
+    }
+    EXPECT_EQ(registry().retained().size(), 4u);
+    EXPECT_EQ(registry().summary().opened, 10u);
+    EXPECT_EQ(registry().summary().count(Outcome::Completed), 10u);
+    registry().setRetainLimit(256);
+}
+
+TEST_F(SpanRegistryTest, UnknownIdCloseIsIgnored)
+{
+    registry().close(5, 424242, Outcome::Completed);
+    EXPECT_EQ(registry().summary().opened, 0u);
+}
+
+TEST_F(SpanRegistryTest, OutcomeNames)
+{
+    EXPECT_STREQ(outcomeName(Outcome::Active), "active");
+    EXPECT_STREQ(outcomeName(Outcome::Completed), "completed");
+    EXPECT_STREQ(outcomeName(Outcome::Inval), "inval");
+    EXPECT_STREQ(outcomeName(Outcome::BadLoad), "bad_load");
+    EXPECT_STREQ(outcomeName(Outcome::Replaced), "replaced");
+}
+
+TEST_F(SpanRegistryTest, TransitionsEmitXferTracePoints)
+{
+    trace::Capture cap({trace::Category::Xfer});
+    auto id = registry().open(100, "udma0", 256);
+    registry().start(200, id, true);
+    registry().close(300, id, Outcome::Completed);
+    EXPECT_TRUE(cap.contains("latched"));
+    EXPECT_TRUE(cap.contains("transferring"));
+    EXPECT_TRUE(cap.contains("completed"));
+}
+
+TEST_F(SpanRegistryTest, DumpJsonParsesAndRoundTrips)
+{
+    auto a = registry().open(100, "udma0", 4096);
+    registry().start(200, a, true);
+    registry().close(1000, a, Outcome::Completed);
+    auto b = registry().open(1100, "udma0", 64);
+    registry().close(1200, b, Outcome::Inval);
+
+    std::ostringstream os;
+    {
+        sim::JsonWriter w(os);
+        registry().dumpJson(w, /*includeSpans=*/true);
+        w.finish();
+    }
+
+    minijson::Value doc;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(os.str(), doc, &err)) << err;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.path("opened")->number, 2.0);
+    EXPECT_EQ(doc.path("bytes_completed")->number, 4096.0);
+    EXPECT_EQ(doc.path("outcomes.completed")->number, 1.0);
+    EXPECT_EQ(doc.path("outcomes.inval")->number, 1.0);
+
+    const minijson::Value *spans = doc.find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_TRUE(spans->isArray());
+    ASSERT_EQ(spans->array.size(), 2u);
+    const auto &first = spans->array[0];
+    EXPECT_EQ(first.path("id")->number, double(a));
+    EXPECT_EQ(first.path("bytes")->number, 4096.0);
+    EXPECT_EQ(first.path("outcome")->str, "completed");
+    EXPECT_EQ(spans->array[1].path("outcome")->str, "inval");
+
+    // Summary-only form omits the per-span list.
+    std::ostringstream os2;
+    {
+        sim::JsonWriter w(os2);
+        registry().dumpJson(w, /*includeSpans=*/false);
+        w.finish();
+    }
+    minijson::Value doc2;
+    ASSERT_TRUE(minijson::parse(os2.str(), doc2, &err)) << err;
+    EXPECT_EQ(doc2.find("spans"), nullptr);
+    EXPECT_EQ(doc2.path("opened")->number, 2.0);
+}

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/system.hh"
 #include "core/udma_lib.hh"
 #include "sim/trace.hh"
@@ -38,6 +40,53 @@ TEST(Trace, CategoryNames)
     EXPECT_STREQ(trace::categoryName(trace::Category::Dma), "dma");
     EXPECT_STREQ(trace::categoryName(trace::Category::Ni), "ni");
     EXPECT_STREQ(trace::categoryName(trace::Category::Bus), "bus");
+    EXPECT_STREQ(trace::categoryName(trace::Category::Xfer), "xfer");
+}
+
+TEST(Trace, NestedCaptureRestoresMaskAndSink)
+{
+    trace::Capture outer({trace::Category::Dma});
+    EXPECT_TRUE(trace::enabled(trace::Category::Dma));
+    {
+        trace::Capture inner({trace::Category::Vm});
+        // The inner capture owns the enable mask exclusively...
+        EXPECT_TRUE(trace::enabled(trace::Category::Vm));
+        EXPECT_FALSE(trace::enabled(trace::Category::Dma));
+        trace::log(1, trace::Category::Dma, "to-outer?");
+        trace::log(2, trace::Category::Vm, "to-inner");
+        EXPECT_TRUE(inner.contains("to-inner"));
+        EXPECT_FALSE(inner.contains("to-outer?"));
+    }
+    // ...and its destruction restores the outer mask and sink.
+    EXPECT_TRUE(trace::enabled(trace::Category::Dma));
+    EXPECT_FALSE(trace::enabled(trace::Category::Vm));
+    trace::log(3, trace::Category::Dma, "back-to-outer");
+    trace::log(4, trace::Category::Vm, "still-filtered");
+    EXPECT_TRUE(outer.contains("back-to-outer"));
+    EXPECT_FALSE(outer.contains("still-filtered"));
+    EXPECT_FALSE(outer.contains("to-inner"));
+}
+
+TEST(Trace, ApplySpecParsesCategoryLists)
+{
+    unsigned before = trace::enabledMask();
+    std::ostringstream sink;
+
+    EXPECT_TRUE(trace::applySpec("dma,xfer", &sink));
+    EXPECT_TRUE(trace::enabled(trace::Category::Dma));
+    EXPECT_TRUE(trace::enabled(trace::Category::Xfer));
+    EXPECT_FALSE(trace::enabled(trace::Category::Os));
+
+    EXPECT_TRUE(trace::applySpec("all", &sink));
+    EXPECT_TRUE(trace::enabled(trace::Category::Bus));
+
+    // Unknown tokens leave the mask untouched.
+    unsigned all = trace::enabledMask();
+    EXPECT_FALSE(trace::applySpec("dma,bogus", &sink));
+    EXPECT_EQ(trace::enabledMask(), all);
+
+    trace::setEnabledMask(before);
+    trace::setSink(nullptr);
 }
 
 TEST(Trace, SimulationEmitsTracePoints)

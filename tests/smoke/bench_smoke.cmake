@@ -1,0 +1,46 @@
+# Smoke test run via `cmake -P`: execute a benchmark with
+# --stats-json and validate the machine-readable result file.
+#
+# Required -D variables:
+#   BENCH     - benchmark executable
+#   VALIDATOR - json_validate executable
+#   OUT       - path for the JSON result file
+
+foreach(var BENCH VALIDATOR OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "bench_smoke.cmake: ${var} not set")
+    endif()
+endforeach()
+
+file(REMOVE "${OUT}")
+
+execute_process(
+    COMMAND "${BENCH}" "--stats-json=${OUT}"
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_smoke.cmake: ${BENCH} exited with ${bench_rc}")
+endif()
+
+if(NOT EXISTS "${OUT}")
+    message(FATAL_ERROR
+        "bench_smoke.cmake: ${BENCH} did not write ${OUT}")
+endif()
+
+# The keys every benchmark report must carry: the kernel invariant
+# counters, a bucketed latency histogram, and the span summary.
+execute_process(
+    COMMAND "${VALIDATOR}" "${OUT}"
+        name
+        counters.i1_invals
+        counters.i2_shootdowns
+        counters.i3_dirty_faults
+        counters.transfers_started
+        histograms.latency_us.buckets
+        spans.opened
+    RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_smoke.cmake: ${OUT} failed validation")
+endif()

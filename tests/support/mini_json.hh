@@ -1,0 +1,300 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser for tests and tools — just
+ * enough to round-trip what sim::JsonWriter emits (objects with
+ * ordered keys, arrays, strings, numbers, booleans, null). Not a
+ * general-purpose library: no \u surrogate pairs, numbers parsed with
+ * strtod. Header-only so test binaries need no extra sources.
+ */
+
+#ifndef SHRIMP_TESTS_SUPPORT_MINI_JSON_HH
+#define SHRIMP_TESTS_SUPPORT_MINI_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace minijson
+{
+
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<Value> array;
+    /** Insertion-ordered, mirroring the writer's emit order. */
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member lookup (nullptr when absent or not an object). */
+    const Value *
+    find(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Dotted-path lookup ("counters.i1_invals"). An exact match of
+     * the whole remaining path is tried first and every split point
+     * is backtracked, so keys that themselves contain dots
+     * ("udma0.engine") resolve whichever way they nest.
+     */
+    const Value *
+    path(const std::string &dotted) const
+    {
+        if (const Value *v = find(dotted))
+            return v;
+        for (std::size_t pos = dotted.find('.');
+             pos != std::string::npos;
+             pos = dotted.find('.', pos + 1)) {
+            if (const Value *v = find(dotted.substr(0, pos))) {
+                if (const Value *r = v->path(dotted.substr(pos + 1)))
+                    return r;
+            }
+        }
+        return nullptr;
+    }
+};
+
+class Parser
+{
+  public:
+    Parser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(Value &out, std::string *err)
+    {
+        bool ok = parseValue(out) && (skipWs(), pos_ == s_.size());
+        if (!ok && err)
+            *err = error_.empty() ? "trailing garbage at byte " +
+                                        std::to_string(pos_)
+                                  : error_;
+        return ok;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected ") + word);
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        switch (s_[pos_]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = Value::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = Value::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || s_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated object");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated array");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_];
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    return fail("bad escape");
+                char e = s_[pos_ + 1];
+                pos_ += 2;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return fail("bad \\u escape");
+                    unsigned code = unsigned(
+                        std::strtoul(s_.substr(pos_, 4).c_str(),
+                                     nullptr, 16));
+                    pos_ += 4;
+                    // Control-character range only (what the writer
+                    // emits); everything else is passed through raw.
+                    out += char(code & 0x7f);
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return fail("unterminated string");
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const char *start = s_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected value");
+        out.kind = Value::Kind::Number;
+        out.number = v;
+        pos_ += std::size_t(end - start);
+        return true;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+/** Parse @p text into @p out; on failure @p err gets a message. */
+inline bool
+parse(const std::string &text, Value &out, std::string *err = nullptr)
+{
+    return Parser(text).parse(out, err);
+}
+
+} // namespace minijson
+
+#endif // SHRIMP_TESTS_SUPPORT_MINI_JSON_HH

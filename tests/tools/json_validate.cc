@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tiny CLI used by the CTest smoke targets: parse a JSON file (the
+ * BENCH_*.json / --stats-json output) and verify that each required
+ * dotted key is present.
+ *
+ *   json_validate <file> [dotted.key ...]
+ *
+ * Exit status: 0 = parsed and every key found; 1 = unreadable,
+ * malformed, or a key missing; 2 = usage error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "../support/mini_json.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: json_validate <file> [dotted.key ...]\n");
+        return 2;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "json_validate: cannot read %s\n",
+                     argv[1]);
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    minijson::Value doc;
+    std::string err;
+    if (!minijson::parse(ss.str(), doc, &err)) {
+        std::fprintf(stderr, "json_validate: %s: %s\n", argv[1],
+                     err.c_str());
+        return 1;
+    }
+
+    int missing = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (!doc.path(argv[i])) {
+            std::fprintf(stderr, "json_validate: %s: missing key %s\n",
+                         argv[1], argv[i]);
+            ++missing;
+        }
+    }
+    if (missing)
+        return 1;
+
+    std::printf("json_validate: %s ok (%d keys checked)\n", argv[1],
+                argc - 2);
+    return 0;
+}
