@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The invariant auditor: executable forms of the paper's Section 6
+ * invariants I1-I4.
+ *
+ * Given a System (or one Node), cross-checks the *global* state —
+ * page tables, frame table, MMU, and every UDMA controller — and
+ * returns a structured list of violations. The predicates, mapped to
+ * the paper's wording (see DESIGN.md §8):
+ *
+ *  - I1 (atomicity): "a STORE/LOAD pair must be issued atomically with
+ *    respect to other processes' initiation pairs". Checked as: any
+ *    latched DESTINATION/COUNT in a controller was issued by the
+ *    process whose page table is currently active in the MMU. A latch
+ *    surviving a context switch is exactly the missed-Inval hole.
+ *  - I2 (mapping consistency): "proxy space mappings must be
+ *    consistent with the real mappings". Checked as: every valid
+ *    memory-proxy PTE points at PROXY(frame) of a valid real PTE of
+ *    the same process, with identical permissions modulo the dirty-
+ *    driven writability of I3, and the real frame is owned by that
+ *    (proc, vpn) in the kernel's frame table.
+ *  - I3 (content consistency): "a page is writable through the proxy
+ *    space only if the page is dirty" (WriteProtectProxy policy).
+ *    Checked as: every writable memory-proxy PTE maps a real page
+ *    considered dirty under the kernel's active I3 policy.
+ *  - I4 (register consistency): "the contents of the UDMA controller
+ *    registers must be consistent with the translations". Checked as:
+ *    every page referenced by an in-flight or queued transfer is
+ *    resident (frame in use), and a latched real-memory DESTINATION
+ *    page is still resident.
+ *
+ * All checks are read-only and untimed; they can run after any event.
+ */
+
+#ifndef SHRIMP_CHECK_AUDIT_HH
+#define SHRIMP_CHECK_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace shrimp::core
+{
+class Node;
+class System;
+} // namespace shrimp::core
+
+namespace shrimp::audit
+{
+
+/** The paper's Section 6 invariants. */
+enum class Invariant
+{
+    I1Atomicity,
+    I2Mapping,
+    I3Content,
+    I4Registers,
+};
+
+/** Short name: "I1", "I2", "I3", "I4". */
+const char *invariantName(Invariant inv);
+
+/** One broken predicate, with enough context to debug it. */
+struct Violation
+{
+    Invariant invariant = Invariant::I1Atomicity;
+    /** Node the violation was found on. */
+    NodeId node = 0;
+    /** Offending process (invalidPid when not attributable). */
+    Pid pid = invalidPid;
+    /** Device slot involved (-1 when none). */
+    int device = -1;
+    /** Address most relevant to the violation (va or page base). */
+    Addr addr = 0;
+    /** Human-readable predicate that failed. */
+    std::string detail;
+};
+
+/** "I2 node0 pid3 dev1 va=0x...: <detail>" */
+std::string describe(const Violation &v);
+
+/** Audit one node; appends violations to @p out. */
+void checkNode(core::Node &node, std::vector<Violation> &out);
+
+/** Audit every node of the system. Empty result = all invariants hold. */
+std::vector<Violation> checkAll(core::System &sys);
+
+} // namespace shrimp::audit
+
+#endif // SHRIMP_CHECK_AUDIT_HH

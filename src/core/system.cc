@@ -6,6 +6,7 @@
 #include <iostream>
 #include <ostream>
 
+#include "check/monitor.hh"
 #include "sim/json.hh"
 #include "sim/span.hh"
 #include "sim/trace.hh"
@@ -15,6 +16,12 @@ namespace shrimp::core
 
 namespace
 {
+
+/**
+ * Audit spec from `--audit=` awaiting the next System construction
+ * (parseRunOptions runs before the System exists in every main).
+ */
+std::string g_pendingAuditSpec;
 
 /**
  * Honour SHRIMP_TRACE=dma,vm,os,ni,bus,xfer (or "all"): enable those
@@ -154,9 +161,30 @@ System::System(const SystemConfig &cfg)
     applyTraceEnv();
     for (unsigned i = 0; i < cfg.nodes; ++i)
         nodes_.push_back(std::make_unique<Node>(*this, i, cfg_));
+
+    // SHRIMP_AUDIT wins over a --audit= seen by parseRunOptions.
+    const char *env = std::getenv("SHRIMP_AUDIT");
+    std::string spec = env && *env ? env : g_pendingAuditSpec;
+    if (!spec.empty() && !enableAudit(spec)) {
+        std::cerr << "audit: unknown mode '" << spec
+                  << "' (want every-event, on-switch or off)\n";
+    }
 }
 
 System::~System() = default;
+
+bool
+System::enableAudit(const std::string &spec, bool fail_fast)
+{
+    audit::Mode mode;
+    if (!audit::parseMode(spec, mode))
+        return false;
+    auditor_.reset();
+    if (mode != audit::Mode::Off)
+        auditor_ = std::make_unique<audit::Monitor>(*this, mode,
+                                                    fail_fast);
+    return true;
+}
 
 void
 System::dumpStats(std::ostream &os)
@@ -257,6 +285,18 @@ parseRunOptions(int &argc, char **argv)
                           << opts.traceSpec
                           << "' (want dma,vm,os,ni,bus,xfer or all)\n";
                 opts.ok = false;
+            }
+            continue;
+        }
+        if (arg.rfind("--audit=", 0) == 0) {
+            opts.auditSpec = arg.substr(std::strlen("--audit="));
+            audit::Mode mode;
+            if (!audit::parseMode(opts.auditSpec, mode)) {
+                std::cerr << "--audit: unknown mode '" << opts.auditSpec
+                          << "' (want every-event, on-switch or off)\n";
+                opts.ok = false;
+            } else {
+                g_pendingAuditSpec = opts.auditSpec;
             }
             continue;
         }

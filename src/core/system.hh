@@ -44,6 +44,11 @@
 #include "vm/layout.hh"
 #include "vm/mmu.hh"
 
+namespace shrimp::audit
+{
+class Monitor;
+} // namespace shrimp::audit
+
 namespace shrimp::core
 {
 
@@ -190,6 +195,18 @@ class System
      */
     void dumpStatsJson(std::ostream &os);
 
+    /**
+     * Turn on continuous invariant auditing (check/monitor.hh):
+     * "on-switch" audits at context switches, "every-event" at every
+     * kernel event and DMA completion, "off" detaches. Returns false
+     * on an unknown spec. With @p fail_fast the monitor throws
+     * audit::ViolationError at the first violation.
+     */
+    bool enableAudit(const std::string &spec, bool fail_fast = false);
+
+    /** The active monitor (nullptr when auditing is off). */
+    audit::Monitor *auditMonitor() { return auditor_.get(); }
+
   private:
     SystemConfig cfg_;
     sim::EventQueue eq_;
@@ -197,6 +214,8 @@ class System
     net::Interconnect net_;
     baseline::FifoFabric fifoFabric_;
     std::vector<std::unique_ptr<Node>> nodes_;
+    /** Declared after nodes_: must detach from live kernels first. */
+    std::unique_ptr<audit::Monitor> auditor_;
 };
 
 /**
@@ -208,13 +227,16 @@ struct RunOptions
 {
     std::string statsJsonPath; ///< empty: no JSON dump requested
     std::string traceSpec;     ///< empty: tracing unchanged
+    std::string auditSpec;     ///< empty: invariant auditing off
     bool ok = true;            ///< false: a malformed option was seen
 };
 
 /**
- * Parse and strip `--stats-json=` / `--trace=` from argv (compacting
- * argc/argv in place so argument-consuming frameworks never see them);
- * a `--trace=` spec is applied immediately. Other arguments are left
+ * Parse and strip `--stats-json=` / `--trace=` / `--audit=` from argv
+ * (compacting argc/argv in place so argument-consuming frameworks
+ * never see them); a `--trace=` spec is applied immediately and an
+ * `--audit=` spec (`every-event` or `on-switch`) is applied to the
+ * next System constructed in this process. Other arguments are left
  * untouched.
  */
 RunOptions parseRunOptions(int &argc, char **argv);

@@ -71,7 +71,6 @@ void
 UdmaController::proxyStore(const vm::Decoded &decoded, Addr paddr,
                            std::int64_t value)
 {
-    (void)paddr;
     SHRIMP_ASSERT(decoded.space == vm::Space::MemProxy
                       || decoded.space == vm::Space::DevProxy,
                   "non-proxy cycle routed to UDMA controller");
@@ -100,6 +99,7 @@ UdmaController::proxyStore(const vm::Decoded &decoded, Addr paddr,
     pending_.count = std::uint32_t(
         std::min<std::int64_t>(value, 0xffffff));
     pending_.latchTick = eq_.now();
+    pending_.ownerPid = ownerProbe_ ? ownerProbe_() : invalidPid;
     pending_.spanId =
         span::registry().open(eq_.now(), ownerName_, pending_.count);
 }
@@ -278,6 +278,8 @@ UdmaController::engineDone()
     serviceNextRequest();
     if (done_cb)
         done_cb();
+    if (completionObserver_)
+        completionObserver_();
 }
 
 void
@@ -291,7 +293,7 @@ UdmaController::serviceNextRequest()
         addPageRefs(next, -1);
         startRequest(next);
     } else if (!queue_.empty()) {
-        Request next = queue_.front();
+        Request next = std::move(queue_.front());
         queue_.pop_front();
         // The queued request already holds a reference; startRequest
         // adds the in-flight one, so drop the queue's.

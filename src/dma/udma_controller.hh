@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -141,6 +142,40 @@ class UdmaController : public bus::ProxyClient
      */
     bool destLoadedPage(Addr &page_base_out) const;
 
+    // ------------------------------------------- invariant auditing
+    /**
+     * Install the kernel's owner probe: called at every latching
+     * STORE to record which process issued it. Debug bookkeeping for
+     * the invariant auditor only — the architectural state machine
+     * never reads it (the controller cannot see who owns a cycle).
+     */
+    void setOwnerProbe(std::function<Pid()> probe)
+    {
+        ownerProbe_ = std::move(probe);
+    }
+
+    /** Pid tagged on the latched destination (invalidPid if idle or
+     *  untagged). */
+    Pid
+    latchOwnerPid() const
+    {
+        return pending_.valid ? pending_.ownerPid : invalidPid;
+    }
+
+    /** Per-page reference counts of the running + queued transfers
+     *  (page base -> count); the auditor's I4 view. */
+    const std::map<Addr, std::uint32_t> &
+    busyPages() const
+    {
+        return pageRefs_;
+    }
+
+    /** Observer fired after every transfer completion (auditing). */
+    void setCompletionObserver(std::function<void()> fn)
+    {
+        completionObserver_ = std::move(fn);
+    }
+
     unsigned deviceIndex() const { return deviceIndex_; }
     UdmaDevice &device() { return device_; }
     const UdmaDevice &device() const { return device_; }
@@ -200,6 +235,8 @@ class UdmaController : public bus::ProxyClient
         /** Lifecycle span opened at the latch. */
         std::uint64_t spanId = 0;
         Tick latchTick = 0;
+        /** Issuing process per the owner probe (audit only). */
+        Pid ownerPid = invalidPid;
     };
 
     /** A fully-specified transfer request. */
@@ -255,6 +292,10 @@ class UdmaController : public bus::ProxyClient
     stats::Histogram initiateUs_{0, 256, 16};
     std::string ownerName_;
     stats::StatGroup statGroup_;
+
+    /** Audit bookkeeping (see setOwnerProbe / setCompletionObserver). */
+    std::function<Pid()> ownerProbe_;
+    std::function<void()> completionObserver_;
 };
 
 } // namespace shrimp::dma

@@ -7,6 +7,18 @@
 namespace shrimp::os
 {
 
+const char *
+kernelEventName(KernelEvent ev)
+{
+    switch (ev) {
+      case KernelEvent::ContextSwitch: return "context-switch";
+      case KernelEvent::PageFault: return "page-fault";
+      case KernelEvent::PageOut: return "page-out";
+      case KernelEvent::DmaComplete: return "dma-complete";
+    }
+    return "?";
+}
+
 Kernel::Kernel(sim::EventQueue &eq, const sim::MachineParams &params,
                const vm::AddressLayout &layout,
                mem::PhysicalMemory &memory, bus::IoBus &io_bus,
@@ -53,6 +65,13 @@ Kernel::attachController(dma::UdmaController *ctrl)
 {
     SHRIMP_ASSERT(ctrl, "null controller");
     controllers_.push_back(ctrl);
+    // Debug-only owner tagging for the invariant auditor: record which
+    // process issued the latching STORE. The architectural controller
+    // stays process-blind (protection still comes from the MMU + I1).
+    ctrl->setOwnerProbe([this] {
+        Process *p = actor();
+        return p ? p->pid() : invalidPid;
+    });
     const dma::UdmaDevice &dev = ctrl->device();
     registerDeviceWindow(
         ctrl->deviceIndex(), dev.proxyExtentBytes(),
@@ -169,6 +188,7 @@ Kernel::issueOp(Process &proc, UserOp *op, std::coroutine_handle<> h)
                 break;
             auto out = handleFault(proc, op->vaddr, is_write, tr.fault);
             faultUs_.sample(ticksToUs(out.latency));
+            fireAuditHook(KernelEvent::PageFault);
             lat += out.latency;
             if (out.killed) {
                 after = After::Kill;
@@ -310,12 +330,15 @@ Kernel::dispatch()
     Tick lat = params_.instrTicks(params_.contextSwitchInstr);
     // Invariant I1: invalidate any partially-initiated UDMA sequence
     // with a single STORE (of a negative nbytes) per controller.
-    for (auto *c : controllers_) {
-        c->inval();
-        ++i1Invals_;
-        lat += params_.ioAccess();
+    if (!mutations_.skipInvalOnSwitch) {
+        for (auto *c : controllers_) {
+            c->inval();
+            ++i1Invals_;
+            lat += params_.ioAccess();
+        }
     }
     mmu_.activate(&next->pageTable_);
+    fireAuditHook(KernelEvent::ContextSwitch);
 
     eq_.scheduleIn(
         lat, "kernel.dispatch",
@@ -696,7 +719,7 @@ Kernel::evictOneFrame(Tick &lat)
             if (c->destLoadedPage(dl) && dl == fa)
                 c->inval();
         }
-        if (pageBusyAnywhere(fa)) {
+        if (!mutations_.ignoreI4PageBusy && pageBusyAnywhere(fa)) {
             ++i4Skips_;
             continue;
         }
@@ -704,6 +727,29 @@ Kernel::evictOneFrame(Tick &lat)
         return true;
     }
     return false;
+}
+
+bool
+Kernel::evictPage(Process &proc, Addr va, Tick &lat)
+{
+    vm::Pte *pte = proc.pageTable_.lookup(layout_.pageOf(va));
+    if (!pte || !pte->valid)
+        return false;
+    std::uint64_t frame = memory_.frameOf(pte->frameAddr);
+    if (frames_[frame].pinCount > 0)
+        return false;
+    Addr fa = memory_.frameAddr(frame);
+    for (auto *c : controllers_) {
+        Addr dl;
+        if (c->destLoadedPage(dl) && dl == fa)
+            c->inval();
+    }
+    if (!mutations_.ignoreI4PageBusy && pageBusyAnywhere(fa)) {
+        ++i4Skips_;
+        return false;
+    }
+    evictFrame(frame, lat);
+    return true;
 }
 
 void
@@ -725,7 +771,8 @@ Kernel::evictFrame(std::uint64_t frame, Tick &lat)
     }
 
     // Invariant I2: the proxy mappings die with the real mapping.
-    invalidateProxyMappings(*owner, f.vpn);
+    if (!mutations_.skipProxyShootdown)
+        invalidateProxyMappings(*owner, f.vpn);
 
     if (mmu_.activeTable() == &owner->pageTable_)
         mmu_.invalidatePage(f.vpn);
@@ -737,6 +784,7 @@ Kernel::evictFrame(std::uint64_t frame, Tick &lat)
     freeFrames_.push_back(frame);
     ++evictions_;
     lat += params_.instrTicks(120); // pageout bookkeeping
+    fireAuditHook(KernelEvent::PageOut);
 }
 
 void
@@ -828,7 +876,8 @@ Kernel::cleanPage(Process &proc, Addr va, Tick &lat)
     }
     // Invariant I3 (main scheme only): cleaning write-protects the
     // proxy mapping so the next proxy write re-marks the page dirty.
-    if (i3Policy_ == I3Policy::WriteProtectProxy)
+    if (i3Policy_ == I3Policy::WriteProtectProxy
+            && !mutations_.skipProxyWriteProtect)
         writeProtectProxyMappings(proc, vpn);
     return true;
 }
@@ -996,6 +1045,91 @@ Kernel::exportPage(Process &proc, Addr va, Addr &paddr_out, Tick &lat)
     pte->dirty = true;
     paddr_out = pte->frameAddr + layout_.pageOffset(va);
     return true;
+}
+
+// --------------------------------------------------------------------
+// The model checker's synchronous CPU (tools/udma_model_check, tests)
+// --------------------------------------------------------------------
+
+void
+Kernel::forEachProcess(const std::function<void(Process &)> &fn)
+{
+    for (auto &[pid, p] : procs_)
+        fn(*p);
+}
+
+void
+Kernel::modelSwitchTo(Process &proc)
+{
+    ++switches_;
+    trace::log(eq_.now(), trace::Category::Os, "model switch to ",
+               proc.name(), " (pid ", proc.pid(), ")");
+    if (!mutations_.skipInvalOnSwitch) {
+        for (auto *c : controllers_) {
+            c->inval();
+            ++i1Invals_;
+        }
+    }
+    mmu_.activate(&proc.pageTable_);
+    fireAuditHook(KernelEvent::ContextSwitch);
+}
+
+Kernel::UserAccess
+Kernel::performUserAccess(Process &proc, Addr va, bool is_write,
+                          std::uint64_t value)
+{
+    UserAccess res;
+    if (proc.killed_ || proc.state_ == ProcState::Zombie) {
+        res.killed = true;
+        return res;
+    }
+    SHRIMP_ASSERT(mmu_.activeTable() == &proc.pageTable_,
+                  "performUserAccess needs the process's address space "
+                  "active (modelSwitchTo first)");
+
+    actorOverride_ = &proc;
+    int attempts = 0;
+    vm::TranslateResult tr;
+    for (;;) {
+        tr = mmu_.translate(va, is_write);
+        if (tr.ok())
+            break;
+        auto out = handleFault(proc, va, is_write, tr.fault);
+        faultUs_.sample(ticksToUs(out.latency));
+        fireAuditHook(KernelEvent::PageFault);
+        if (out.killed) {
+            actorOverride_ = nullptr;
+            res.killed = true;
+            return res;
+        }
+        SHRIMP_ASSERT(++attempts < 8, "page-fault livelock at va=", va);
+    }
+
+    auto dec = layout_.decode(tr.paddr);
+    if (dec.space == vm::Space::Memory) {
+        if (is_write) {
+            memory_.write<std::uint64_t>(tr.paddr, value);
+            for (auto &snoop : snoopers_)
+                (void)snoop(tr.paddr, value);
+        } else {
+            res.value = memory_.read<std::uint64_t>(tr.paddr);
+        }
+    } else {
+        bus::ProxyClient *client = ioBus_.client(dec.device);
+        if (!client) {
+            killProcess(proc, "proxy access to unattached device");
+            actorOverride_ = nullptr;
+            res.killed = true;
+            return res;
+        }
+        if (is_write)
+            client->proxyStore(dec, tr.paddr, std::int64_t(value));
+        else
+            res.value = client->proxyLoad(dec, tr.paddr);
+    }
+    actorOverride_ = nullptr;
+    res.ok = true;
+    return res;
 }
 
 // --------------------------------------------------------------------

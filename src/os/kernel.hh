@@ -58,6 +58,49 @@ namespace shrimp::os
 {
 
 /**
+ * Kernel events the invariant auditor can hook (check/monitor.hh).
+ * Fired synchronously at the points where the Section 6 invariants
+ * must hold: after a context switch, after a page fault is repaired,
+ * after a page-out, and (via the controller's completion observer)
+ * after a DMA completion.
+ */
+enum class KernelEvent
+{
+    ContextSwitch,
+    PageFault,
+    PageOut,
+    DmaComplete,
+};
+
+const char *kernelEventName(KernelEvent ev);
+
+/**
+ * Seeded-mutation knobs for the invariant checker: each switch
+ * disables exactly one of the kernel actions that maintain a Section 6
+ * invariant, so the auditor and the model checker can demonstrate the
+ * corresponding counterexample. All default off; production code never
+ * sets them.
+ */
+struct MutationKnobs
+{
+    /** I1: do not Inval controllers on a context switch. */
+    bool skipInvalOnSwitch = false;
+    /** I2: leave proxy mappings standing when the real page goes. */
+    bool skipProxyShootdown = false;
+    /** I3: do not write-protect proxy mappings when cleaning. */
+    bool skipProxyWriteProtect = false;
+    /** I4: evict pages even while a transfer references them. */
+    bool ignoreI4PageBusy = false;
+
+    bool
+    any() const
+    {
+        return skipInvalOnSwitch || skipProxyShootdown
+               || skipProxyWriteProtect || ignoreI4PageBusy;
+    }
+};
+
+/**
  * Which of the paper's two content-consistency schemes the kernel
  * runs (Section 6, "Maintaining I3").
  */
@@ -124,6 +167,18 @@ class Kernel
     void setI3Policy(I3Policy p) { i3Policy_ = p; }
     I3Policy i3Policy() const { return i3Policy_; }
 
+    /** Seeded-mutation knobs (invariant checker only; see
+     *  MutationKnobs). */
+    void setMutations(const MutationKnobs &m) { mutations_ = m; }
+    const MutationKnobs &mutations() const { return mutations_; }
+
+    /**
+     * Install the invariant-audit hook, fired synchronously at every
+     * KernelEvent point. One slot; pass an empty function to detach.
+     */
+    using AuditHook = std::function<void(KernelEvent)>;
+    void setAuditHook(AuditHook hook) { auditHook_ = std::move(hook); }
+
     // ---------------------------------------------- process lifecycle
     /** Create a process; it becomes runnable immediately. */
     Process &spawn(std::string name, UserProgram program);
@@ -143,6 +198,18 @@ class Kernel
 
     /** The currently running process (nullptr if the CPU is idle). */
     Process *running() const { return running_; }
+
+    /**
+     * The process on whose behalf the CPU is acting right now: the
+     * running process, or the actor of a synchronous
+     * performUserAccess. Controllers use this (via their owner probe)
+     * to tag latched destinations for the invariant auditor.
+     */
+    Process *
+    actor() const
+    {
+        return actorOverride_ ? actorOverride_ : running_;
+    }
 
     /** Wake a Blocked process (keeps the syscall's result value). */
     void wake(Process &proc);
@@ -205,6 +272,63 @@ class Kernel
 
     /** Untimed functional read from a process's address space. */
     void peekBytes(Process &proc, Addr va, void *dst, std::uint64_t len);
+
+    // -------------------------------- model-checker CPU (tools/tests)
+    /** Outcome of one synchronous user access. */
+    struct UserAccess
+    {
+        bool ok = false;     ///< the access completed
+        bool killed = false; ///< the fault path killed the process
+        std::uint64_t value = 0; ///< loaded value (loads only)
+    };
+
+    /**
+     * Perform one user LOAD/STORE synchronously and untimed, running
+     * the full MMU-translate / fault-repair / proxy-dispatch path of
+     * issueOp. The process must be the current address space (use
+     * modelSwitchTo). This is how tools/udma_model_check drives
+     * arbitrary STORE/LOAD interleavings without the scheduler.
+     */
+    UserAccess performUserAccess(Process &proc, Addr va, bool is_write,
+                                 std::uint64_t value = 0);
+
+    /**
+     * Architectural essentials of a context switch, synchronously:
+     * the per-controller Inval STOREs (invariant I1) and the address
+     * space activation. Scheduler bookkeeping (queues, quanta) is not
+     * touched; checker/test use only.
+     */
+    void modelSwitchTo(Process &proc);
+
+    /**
+     * Page the frame backing (proc, va) out right now, as the page
+     * daemon would under memory pressure targeting this page.
+     * Respects pins and invariant I4 exactly like evictOneFrame;
+     * returns false if the page is not resident or must stay.
+     */
+    bool evictPage(Process &proc, Addr va, Tick &lat);
+
+    /** Visit every process, in pid order (auditing). */
+    void forEachProcess(const std::function<void(Process &)> &fn);
+
+    /** Frame bookkeeping for replacement and I4. */
+    struct FrameInfo
+    {
+        bool used = false;
+        Pid pid = invalidPid;
+        std::uint64_t vpn = 0;
+        std::uint32_t pinCount = 0;
+    };
+
+    /** Read-only frame-table view (auditing). */
+    const FrameInfo &
+    frameInfo(std::uint64_t frame) const
+    {
+        return frames_.at(frame);
+    }
+
+    /** Clock-hand position of the replacement scan (state hashing). */
+    std::size_t clockHand() const { return clockHand_; }
 
     // ------------------------------------------------------ accessors
     sim::EventQueue &eq() { return eq_; }
@@ -283,15 +407,6 @@ class Kernel
         bool killed = false;
     };
 
-    /** Frame bookkeeping for replacement and I4. */
-    struct FrameInfo
-    {
-        bool used = false;
-        Pid pid = invalidPid;
-        std::uint64_t vpn = 0;
-        std::uint32_t pinCount = 0;
-    };
-
     void opDone(Process &proc, After after);
     void dispatch();
     void resumeProcess(Process &proc);
@@ -344,6 +459,14 @@ class Kernel
 
     void killProcess(Process &proc, std::string reason);
 
+    /** Fire the invariant-audit hook, if one is installed. */
+    void
+    fireAuditHook(KernelEvent ev)
+    {
+        if (auditHook_)
+            auditHook_(ev);
+    }
+
     sim::EventQueue &eq_;
     const sim::MachineParams &params_;
     const vm::AddressLayout &layout_;
@@ -355,6 +478,10 @@ class Kernel
     std::vector<dma::UdmaController *> controllers_;
     std::vector<StoreSnooper> snoopers_;
     I3Policy i3Policy_ = I3Policy::WriteProtectProxy;
+    MutationKnobs mutations_;
+    AuditHook auditHook_;
+    /** Actor of an in-progress performUserAccess (else nullptr). */
+    Process *actorOverride_ = nullptr;
 
     struct DeviceWindow
     {

@@ -73,10 +73,10 @@ TEST(PhysicalMemory, FrameAddressing)
 TEST(PhysicalMemory, OutOfRangePanics)
 {
     PhysicalMemory m(4096, 4096);
-    std::uint8_t b = 0;
-    EXPECT_THROW(m.readBytes(4096, &b, 1), PanicError);
-    EXPECT_THROW(m.writeBytes(4090, &b, 8), PanicError);
-    EXPECT_THROW(m.readBytes(~0ull, &b, 1), PanicError);
+    std::uint8_t b[8] = {};
+    EXPECT_THROW(m.readBytes(4096, b, 1), PanicError);
+    EXPECT_THROW(m.writeBytes(4090, b, 8), PanicError);
+    EXPECT_THROW(m.readBytes(~0ull, b, 1), PanicError);
 }
 
 TEST(PhysicalMemory, EdgeOfMemoryIsAccessible)

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end correctness gate: sanitizer build + tests, clang-tidy on
+# changed files (when installed), and the invariant model checker —
+# both the clean exploration and the seeded I1 mutation that must
+# produce a counterexample.
+#
+# Usage: tools/run_checks.sh [build-dir]
+#   SHRIMP_TIDY_BASE=<git-ref>   diff base for clang-tidy (default:
+#                                HEAD; use origin/main on a branch)
+#   SHRIMP_CHECK_DEPTH=<n>       model-check DFS depth (default: 8)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-checks}"
+depth="${SHRIMP_CHECK_DEPTH:-8}"
+tidy_base="${SHRIMP_TIDY_BASE:-HEAD}"
+
+echo "== configure (ASan+UBSan, -Werror) =="
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DSHRIMP_SANITIZE=address,undefined \
+    -DSHRIMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" -j "$(nproc)"
+
+echo
+echo "== clang-tidy (changed files vs ${tidy_base}) =="
+if command -v clang-tidy > /dev/null 2>&1; then
+    # clang-tidy needs a compilation database.
+    if [ ! -f "${build_dir}/compile_commands.json" ]; then
+        cmake -B "${build_dir}" -S "${repo_root}" \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    fi
+    changed="$(cd "${repo_root}" \
+        && git diff --name-only --diff-filter=d "${tidy_base}" -- \
+            'src/*.cc' 'tools/*.cc' 'bench/*.cc' 'examples/*.cc' \
+        || true)"
+    if [ -n "${changed}" ]; then
+        (cd "${repo_root}" && echo "${changed}" \
+            | xargs clang-tidy -p "${build_dir}" --quiet)
+    else
+        echo "no changed C++ sources vs ${tidy_base}; skipping"
+    fi
+else
+    echo "clang-tidy not installed; skipping lint step"
+fi
+
+echo
+echo "== model check: clean exploration (depth=${depth}) =="
+"${build_dir}/tools/udma_model_check" --depth="${depth}"
+
+echo
+echo "== model check: seeded I1 mutation must find a counterexample =="
+if "${build_dir}/tools/udma_model_check" --depth=4 \
+        --mutate=no-inval-on-switch > "${build_dir}/mutation.out" 2>&1
+then
+    echo "ERROR: the no-inval-on-switch mutation went undetected"
+    exit 1
+fi
+if ! grep -q "I1" "${build_dir}/mutation.out"; then
+    echo "ERROR: mutation run failed without an I1 counterexample:"
+    cat "${build_dir}/mutation.out"
+    exit 1
+fi
+grep "VIOLATION" "${build_dir}/mutation.out" || true
+echo "counterexample produced, as expected"
+
+echo
+echo "== ctest (sanitized) =="
+(cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+
+echo
+echo "all checks passed"
