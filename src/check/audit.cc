@@ -238,6 +238,36 @@ checkControllers(os::Kernel &kernel, vm::Mmu &mmu, Reporter &rep)
     }
 }
 
+/**
+ * Proxy-translation-cache coherence (I2): every cached entry must
+ * point at exactly the PTE node the owner's page table holds for that
+ * vpn. Compared by pointer identity — never dereferenced — so a stale
+ * entry left behind by a missed shootdown (the no-tcache-shootdown
+ * mutation) is detected without touching freed memory.
+ */
+void
+checkTranslationCache(os::Kernel &kernel, Reporter &rep)
+{
+    const vm::AddressLayout &layout = kernel.layout();
+    kernel.proxyTcache().forEach(
+        [&](const os::ProxyTranslationCache::Entry &e) {
+            Addr va = Addr(e.vpn) * layout.pageBytes();
+            os::Process *owner = kernel.findProcess(e.pid);
+            if (!owner) {
+                rep.add(Invariant::I2Mapping, e.pid, -1, va,
+                        "translation-cache entry for a nonexistent "
+                        "process");
+                return;
+            }
+            if (owner->pageTable().lookup(e.vpn) != e.pte) {
+                rep.add(Invariant::I2Mapping, e.pid, -1, va,
+                        "stale proxy-translation-cache entry: cached "
+                        "PTE is not the page table's PTE (missed "
+                        "shootdown)");
+            }
+        });
+}
+
 } // namespace
 
 void
@@ -252,6 +282,7 @@ checkNode(core::Node &node, std::vector<Violation> &out)
     });
     checkFrameTable(kernel, rep);
     checkControllers(kernel, node.mmu(), rep);
+    checkTranslationCache(kernel, rep);
 }
 
 std::vector<Violation>

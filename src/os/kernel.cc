@@ -178,29 +178,48 @@ Kernel::issueOp(Process &proc, UserOp *op, std::coroutine_handle<> h)
       case UserOp::Kind::Load:
       case UserOp::Kind::Store: {
         bool is_write = op->kind == UserOp::Kind::Store;
+        std::uint64_t vpn = layout_.pageOf(op->vaddr);
         vm::TranslateResult tr;
-        int attempts = 0;
-        for (;;) {
-            tr = mmu_.translate(op->vaddr, is_write);
-            if (!tr.tlbHit)
-                lat += params_.instrTicks(params_.tlbMissCycles);
-            if (tr.ok())
-                break;
-            auto out = handleFault(proc, op->vaddr, is_write, tr.fault);
-            faultUs_.sample(ticksToUs(out.latency));
-            fireAuditHook(KernelEvent::PageFault);
-            lat += out.latency;
-            if (out.killed) {
-                after = After::Kill;
-                break;
+        vm::Pte *cpte = tcache_.lookup(proc.pid_, vpn, is_write);
+        if (cpte) {
+            // Proxy-translation cache hit: architecturally a warm TLB
+            // hit (no extra latency); lookup() already checked the
+            // permission bits against the live PTE.
+            cpte->referenced = true;
+            if (is_write)
+                cpte->dirty = true;
+            tr.paddr = cpte->frameAddr + layout_.pageOffset(op->vaddr);
+            tr.tlbHit = true;
+        } else {
+            int attempts = 0;
+            for (;;) {
+                tr = mmu_.translate(op->vaddr, is_write);
+                if (!tr.tlbHit)
+                    lat += params_.instrTicks(params_.tlbMissCycles);
+                if (tr.ok())
+                    break;
+                auto out =
+                    handleFault(proc, op->vaddr, is_write, tr.fault);
+                faultUs_.sample(ticksToUs(out.latency));
+                fireAuditHook(KernelEvent::PageFault);
+                lat += out.latency;
+                if (out.killed) {
+                    after = After::Kill;
+                    break;
+                }
+                SHRIMP_ASSERT(++attempts < 8,
+                              "page-fault livelock at va=", op->vaddr);
             }
-            SHRIMP_ASSERT(++attempts < 8, "page-fault livelock at va=",
-                          op->vaddr);
         }
         if (after == After::Kill)
             break;
 
         auto dec = layout_.decode(tr.paddr);
+        if (!cpte && dec.space != vm::Space::Memory) {
+            // Memoize the proxy translation the slow path resolved.
+            if (vm::Pte *pte = proc.pageTable_.lookup(vpn))
+                tcache_.insert(proc.pid_, vpn, pte);
+        }
         if (dec.space == vm::Space::Memory) {
             lat += params_.memAccess();
             Addr pa = tr.paddr;
@@ -797,6 +816,10 @@ Kernel::invalidateProxyMappings(Process &proc, std::uint64_t real_vpn)
         if (proc.pageTable_.lookup(proxy_vpn)) {
             if (mmu_.activeTable() == &proc.pageTable_)
                 mmu_.invalidatePage(proxy_vpn);
+            // The translation cache holds a pointer into the page
+            // table; drop it before the PTE node goes away.
+            if (!mutations_.skipTcacheShootdown)
+                tcache_.invalidate(proc.pid_, proxy_vpn);
             proc.pageTable_.remove(proxy_vpn);
             ++i2Shootdowns_;
         }
@@ -893,6 +916,7 @@ Kernel::releaseProcessMemory(Process &proc)
     }
     if (mmu_.activeTable() == &proc.pageTable_)
         mmu_.activate(nullptr);
+    tcache_.invalidatePid(proc.pid_);
     backing_.dropProcess(proc.pid_);
 }
 
@@ -1088,24 +1112,39 @@ Kernel::performUserAccess(Process &proc, Addr va, bool is_write,
                   "active (modelSwitchTo first)");
 
     actorOverride_ = &proc;
-    int attempts = 0;
+    std::uint64_t vpn = layout_.pageOf(va);
     vm::TranslateResult tr;
-    for (;;) {
-        tr = mmu_.translate(va, is_write);
-        if (tr.ok())
-            break;
-        auto out = handleFault(proc, va, is_write, tr.fault);
-        faultUs_.sample(ticksToUs(out.latency));
-        fireAuditHook(KernelEvent::PageFault);
-        if (out.killed) {
-            actorOverride_ = nullptr;
-            res.killed = true;
-            return res;
+    vm::Pte *cpte = tcache_.lookup(proc.pid_, vpn, is_write);
+    if (cpte) {
+        cpte->referenced = true;
+        if (is_write)
+            cpte->dirty = true;
+        tr.paddr = cpte->frameAddr + layout_.pageOffset(va);
+        tr.tlbHit = true;
+    } else {
+        int attempts = 0;
+        for (;;) {
+            tr = mmu_.translate(va, is_write);
+            if (tr.ok())
+                break;
+            auto out = handleFault(proc, va, is_write, tr.fault);
+            faultUs_.sample(ticksToUs(out.latency));
+            fireAuditHook(KernelEvent::PageFault);
+            if (out.killed) {
+                actorOverride_ = nullptr;
+                res.killed = true;
+                return res;
+            }
+            SHRIMP_ASSERT(++attempts < 8, "page-fault livelock at va=",
+                          va);
         }
-        SHRIMP_ASSERT(++attempts < 8, "page-fault livelock at va=", va);
     }
 
     auto dec = layout_.decode(tr.paddr);
+    if (!cpte && dec.space != vm::Space::Memory) {
+        if (vm::Pte *pte = proc.pageTable_.lookup(vpn))
+            tcache_.insert(proc.pid_, vpn, pte);
+    }
     if (dec.space == vm::Space::Memory) {
         if (is_write) {
             memory_.write<std::uint64_t>(tr.paddr, value);

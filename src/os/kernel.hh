@@ -46,6 +46,7 @@
 #include "mem/backing_store.hh"
 #include "mem/physical_memory.hh"
 #include "os/process.hh"
+#include "os/proxy_tcache.hh"
 #include "os/user_context.hh"
 #include "os/user_op.hh"
 #include "sim/coro.hh"
@@ -91,12 +92,16 @@ struct MutationKnobs
     bool skipProxyWriteProtect = false;
     /** I4: evict pages even while a transfer references them. */
     bool ignoreI4PageBusy = false;
+    /** I2: leave proxy-translation-cache entries standing when the
+     *  proxy PTE they point at is shot down. */
+    bool skipTcacheShootdown = false;
 
     bool
     any() const
     {
         return skipInvalOnSwitch || skipProxyShootdown
-               || skipProxyWriteProtect || ignoreI4PageBusy;
+               || skipProxyWriteProtect || ignoreI4PageBusy
+               || skipTcacheShootdown;
     }
 };
 
@@ -332,6 +337,8 @@ class Kernel
 
     // ------------------------------------------------------ accessors
     sim::EventQueue &eq() { return eq_; }
+    /** The proxy-translation cache on the UDMA initiation path. */
+    const ProxyTranslationCache &proxyTcache() const { return tcache_; }
     const sim::MachineParams &params() const { return params_; }
     const vm::AddressLayout &layout() const { return layout_; }
     mem::PhysicalMemory &memory() { return memory_; }
@@ -478,6 +485,7 @@ class Kernel
     std::vector<dma::UdmaController *> controllers_;
     std::vector<StoreSnooper> snoopers_;
     I3Policy i3Policy_ = I3Policy::WriteProtectProxy;
+    ProxyTranslationCache tcache_;
     MutationKnobs mutations_;
     AuditHook auditHook_;
     /** Actor of an in-progress performUserAccess (else nullptr). */

@@ -1,31 +1,44 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 namespace shrimp::sim
 {
 
-EventQueue::~EventQueue()
-{
-    while (!heap_.empty()) {
-        delete heap_.top();
-        heap_.pop();
-    }
-}
-
 EventHandle
-EventQueue::schedule(Tick when, std::string name, std::function<void()> fn,
+EventQueue::schedule(Tick when, const char *name, EventCallback fn,
                      EventPriority prio)
 {
     if (when < curTick_) {
-        panic("event '", name, "' scheduled in the past: when=", when,
-              " now=", curTick_);
+        panic("event '", name ? name : "?",
+              "' scheduled in the past: when=", when, " now=", curTick_);
     }
-    auto *rec = new Record{when, static_cast<int>(prio), nextSeq_,
-                           nextSeq_, std::move(name), std::move(fn), false};
-    ++nextSeq_;
-    heap_.push(rec);
-    pendingById_.emplace(rec->id, rec);
+
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        if (slots_.size() == slots_.capacity())
+            ++containerGrowths_;
+        slots_.emplace_back();
+    }
+
+    Record &rec = slots_[slot];
+    rec.when = when;
+    rec.seq = nextSeq_++;
+    rec.name = name;
+    rec.fn = std::move(fn);
+    rec.prio = static_cast<std::int32_t>(prio);
+    rec.inUse = true;
+
+    if (heap_.size() == heap_.capacity())
+        ++containerGrowths_;
+    heap_.push_back(HeapEntry{rec.when, rec.seq, rec.prio, slot, rec.gen});
+    std::push_heap(heap_.begin(), heap_.end(), After{});
     ++liveEvents_;
-    return EventHandle(rec->id);
+    return EventHandle(slot + 1, rec.gen);
 }
 
 bool
@@ -33,46 +46,93 @@ EventQueue::deschedule(EventHandle handle)
 {
     if (!handle.valid())
         return false;
-    auto it = pendingById_.find(handle.id_);
-    if (it == pendingById_.end())
+    const std::uint32_t slot = handle.slotPlus1_ - 1;
+    if (slot >= slots_.size())
         return false;
-    it->second->cancelled = true;
-    pendingById_.erase(it);
+    Record &rec = slots_[slot];
+    if (!rec.inUse || rec.gen != handle.gen_)
+        return false; // fired, cancelled, or recycled: detected no-op
+    rec.fn.reset();
+    freeSlot(slot);
     --liveEvents_;
+    ++cancelled_;
+    // The heap entry stays behind with a now-mismatched generation;
+    // dropStale() discards it, or maybeCompact() sweeps it early.
+    ++staleInHeap_;
+    maybeCompact();
     return true;
 }
 
-EventQueue::Record *
-EventQueue::popNext()
+void
+EventQueue::freeSlot(std::uint32_t slot)
 {
-    while (!heap_.empty()) {
-        Record *rec = heap_.top();
-        heap_.pop();
-        if (rec->cancelled) {
-            delete rec;
-            continue;
-        }
-        return rec;
+    Record &rec = slots_[slot];
+    rec.inUse = false;
+    rec.name = nullptr;
+    ++rec.gen;
+    if (freeSlots_.size() == freeSlots_.capacity())
+        ++containerGrowths_;
+    freeSlots_.push_back(slot);
+}
+
+void
+EventQueue::dropStale()
+{
+    while (!heap_.empty() && stale(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), After{});
+        heap_.pop_back();
+        SHRIMP_ASSERT(staleInHeap_ > 0, "stale-entry accounting underflow");
+        --staleInHeap_;
     }
-    return nullptr;
+}
+
+EventQueue::HeapEntry
+EventQueue::popEntry()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    HeapEntry e = heap_.back();
+    heap_.pop_back();
+    return e;
+}
+
+void
+EventQueue::maybeCompact()
+{
+    if (staleInHeap_ <= 64 || staleInHeap_ * 2 <= heap_.size())
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const HeapEntry &e) {
+                                   return stale(e);
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), After{});
+    staleInHeap_ = 0;
+    ++compactions_;
+}
+
+void
+EventQueue::fire(const HeapEntry &e)
+{
+    Record &rec = slots_[e.slot];
+    SHRIMP_ASSERT(rec.when >= curTick_, "time went backwards");
+    curTick_ = rec.when;
+    // Move the callback out so the slot can be recycled even if the
+    // callback schedules further events.
+    EventCallback fn = std::move(rec.fn);
+    rec.fn.reset();
+    freeSlot(e.slot);
+    --liveEvents_;
+    ++executed_;
+    fn();
 }
 
 bool
 EventQueue::step()
 {
-    Record *rec = popNext();
-    if (!rec)
+    dropStale();
+    if (heap_.empty())
         return false;
-    SHRIMP_ASSERT(rec->when >= curTick_, "time went backwards");
-    curTick_ = rec->when;
-    pendingById_.erase(rec->id);
-    --liveEvents_;
-    ++executed_;
-    // Move the callback out so the record can be freed even if the
-    // callback schedules further events.
-    auto fn = std::move(rec->fn);
-    delete rec;
-    fn();
+    fire(popEntry());
     return true;
 }
 
@@ -80,23 +140,15 @@ Tick
 EventQueue::run(Tick limit)
 {
     while (liveEvents_ > 0) {
-        // Peek: don't execute events beyond the limit.
-        Record *rec = popNext();
-        if (!rec)
+        dropStale();
+        if (heap_.empty())
             break;
-        if (rec->when > limit) {
-            // Put it back; it stays pending.
-            heap_.push(rec);
+        if (heap_.front().when > limit) {
+            // The front event stays pending; time advances to the limit.
             curTick_ = limit;
             return curTick_;
         }
-        curTick_ = rec->when;
-        pendingById_.erase(rec->id);
-        --liveEvents_;
-        ++executed_;
-        auto fn = std::move(rec->fn);
-        delete rec;
-        fn();
+        fire(popEntry());
     }
     return curTick_;
 }
@@ -105,21 +157,14 @@ Tick
 EventQueue::runUntil(const std::function<bool()> &pred, Tick limit)
 {
     while (liveEvents_ > 0 && !pred()) {
-        Record *rec = popNext();
-        if (!rec)
+        dropStale();
+        if (heap_.empty())
             break;
-        if (rec->when > limit) {
-            heap_.push(rec);
+        if (heap_.front().when > limit) {
             curTick_ = limit;
             return curTick_;
         }
-        curTick_ = rec->when;
-        pendingById_.erase(rec->id);
-        --liveEvents_;
-        ++executed_;
-        auto fn = std::move(rec->fn);
-        delete rec;
-        fn();
+        fire(popEntry());
     }
     return curTick_;
 }

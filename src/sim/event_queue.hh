@@ -6,16 +6,39 @@
  * All timing in the simulator is expressed by scheduling callbacks on
  * this queue. Components never busy-wait; they schedule their next
  * action and return.
+ *
+ * The scheduling fast path is allocation-free and hash-free in the
+ * steady state:
+ *
+ *  - Event records live in a slab with an explicit free list; firing
+ *    or cancelling an event recycles its slot instead of touching the
+ *    heap allocator.
+ *  - Handles are generation-tagged slab indices, so deschedule() is a
+ *    direct array probe (no id map) and a handle to a fired or
+ *    recycled event is detected as stale, never dereferenced.
+ *  - Event labels are static strings (`const char *`): callers pass
+ *    string literals and no per-event std::string is ever built.
+ *  - Callbacks are stored in EventCallback's inline small-buffer;
+ *    only captures larger than EventCallback::inlineBytes fall back
+ *    to the heap (counted, so benches can assert the steady state
+ *    allocates nothing).
+ *
+ * Cancelled events leave a stale entry in the binary heap (detected by
+ * generation mismatch); when stale entries exceed half the heap the
+ * queue compacts, bounding both memory and comparator work under
+ * cancel-heavy workloads.
  */
 
 #ifndef SHRIMP_SIM_EVENT_QUEUE_HH
 #define SHRIMP_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <queue>
-#include <string>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -38,32 +61,193 @@ enum class EventPriority : int
 };
 
 /**
+ * Type-erased `void()` callback with small-buffer-optimized inline
+ * storage. Callables up to inlineBytes that are nothrow-movable are
+ * stored in place; larger ones fall back to one heap allocation,
+ * counted in heapFallbacks() so the fast path can prove it never
+ * pays it.
+ */
+class EventCallback
+{
+  public:
+    /** Inline capture budget; sized for the simulator's largest hot
+     *  lambda (the kernel's cpu.op completion). */
+    static constexpr std::size_t inlineBytes = 64;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>
+                  && std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&f) // NOLINT(google-explicit-constructor)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        SHRIMP_ASSERT(ops_, "invoking an empty EventCallback");
+        ops_->invoke(buf_);
+    }
+
+    /** Destroy the stored callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** Process-wide count of captures too large for inline storage. */
+    static std::uint64_t heapFallbacks() { return heapFallbacks_; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move construct into dst from src, destroying src. */
+        void (*moveTo)(void *src, void *dst);
+        void (*destroy)(void *);
+    };
+
+    template <typename F>
+    struct InlineOps
+    {
+        static F *
+        self(void *p)
+        {
+            return std::launder(reinterpret_cast<F *>(p));
+        }
+
+        static void invoke(void *p) { (*self(p))(); }
+
+        static void
+        moveTo(void *src, void *dst)
+        {
+            F *s = self(src);
+            ::new (dst) F(std::move(*s));
+            s->~F();
+        }
+
+        static void destroy(void *p) { self(p)->~F(); }
+
+        static constexpr Ops ops{invoke, moveTo, destroy};
+    };
+
+    template <typename F>
+    struct HeapOps
+    {
+        static F *
+        ptr(void *p)
+        {
+            F *f = nullptr;
+            std::memcpy(&f, p, sizeof f);
+            return f;
+        }
+
+        static void invoke(void *p) { (*ptr(p))(); }
+
+        static void
+        moveTo(void *src, void *dst)
+        {
+            std::memcpy(dst, src, sizeof(F *));
+        }
+
+        static void destroy(void *p) { delete ptr(p); }
+
+        static constexpr Ops ops{invoke, moveTo, destroy};
+    };
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->moveTo(other.buf_, buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using D = std::decay_t<F>;
+        if constexpr (sizeof(D) <= inlineBytes
+                      && alignof(D) <= alignof(std::max_align_t)
+                      && std::is_nothrow_move_constructible_v<D>) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &InlineOps<D>::ops;
+        } else {
+            D *heap = new D(std::forward<F>(f));
+            std::memcpy(buf_, &heap, sizeof heap);
+            ops_ = &HeapOps<D>::ops;
+            ++heapFallbacks_;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inlineBytes];
+    const Ops *ops_ = nullptr;
+
+    inline static std::uint64_t heapFallbacks_ = 0;
+};
+
+/**
  * A handle to a scheduled event, usable to deschedule it. Handles are
- * cheap value types; descheduling an already-fired or already
- * descheduled event is a checked error.
+ * cheap value types: a slab index plus the slot's generation at
+ * scheduling time. Descheduling an already-fired, already-cancelled,
+ * or recycled event is detected by the generation tag and reported as
+ * a no-op (deschedule returns false) — never a use-after-free.
  */
 class EventHandle
 {
   public:
     EventHandle() = default;
 
-    bool valid() const { return id_ != 0; }
+    bool valid() const { return slotPlus1_ != 0; }
 
   private:
     friend class EventQueue;
-    explicit EventHandle(std::uint64_t id) : id_(id) {}
-    std::uint64_t id_ = 0;
+    EventHandle(std::uint32_t slot_plus_1, std::uint32_t gen)
+        : slotPlus1_(slot_plus_1), gen_(gen)
+    {}
+    std::uint32_t slotPlus1_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /**
- * The event queue. Holds the current simulated time and a priority
- * queue of pending callbacks.
+ * The event queue. Holds the current simulated time, the event-record
+ * slab, and a binary min-heap of (tick, priority, sequence) entries
+ * referencing slab slots.
  */
 class EventQueue
 {
   public:
     EventQueue() = default;
-    ~EventQueue();
+    ~EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -74,28 +258,27 @@ class EventQueue
      * Schedule a callback at an absolute tick.
      *
      * @param when Absolute tick; must be >= now().
-     * @param name Debug label for the event.
+     * @param name Static debug label (string literal); the queue
+     *             stores the pointer, never copies the text.
      * @param fn Callback invoked when the event fires.
      * @param prio Intra-tick ordering class.
      * @return Handle that can cancel the event before it fires.
      */
-    EventHandle schedule(Tick when, std::string name,
-                         std::function<void()> fn,
+    EventHandle schedule(Tick when, const char *name, EventCallback fn,
                          EventPriority prio = EventPriority::Default);
 
     /** Schedule a callback @p delay ticks in the future. */
     EventHandle
-    scheduleIn(Tick delay, std::string name, std::function<void()> fn,
+    scheduleIn(Tick delay, const char *name, EventCallback fn,
                EventPriority prio = EventPriority::Default)
     {
-        return schedule(curTick_ + delay, std::move(name), std::move(fn),
-                        prio);
+        return schedule(curTick_ + delay, name, std::move(fn), prio);
     }
 
     /**
      * Cancel a pending event. Returns true if the event was pending
-     * and is now cancelled; false if it had already fired or was
-     * already cancelled.
+     * and is now cancelled; false if it had already fired, was
+     * already cancelled, or the slot has been recycled.
      */
     bool deschedule(EventHandle handle);
 
@@ -123,40 +306,97 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t eventsExecuted() const { return executed_; }
 
+    // ------------------------------------------- self-perf counters
+    /** Events cancelled over the queue's lifetime. */
+    std::uint64_t eventsCancelled() const { return cancelled_; }
+
+    /** Stale-entry heap compactions performed. */
+    std::uint64_t compactions() const { return compactions_; }
+
+    /**
+     * Container-growth allocations on the scheduling path (slab, heap
+     * and free-list growth). Flat in the steady state: once the slab
+     * and heap reach the workload's high-water mark, scheduling
+     * allocates nothing.
+     */
+    std::uint64_t containerGrowths() const { return containerGrowths_; }
+
+    /** Heap entries currently held, including stale (cancelled) ones. */
+    std::size_t heapEntries() const { return heap_.size(); }
+
+    /** Slab capacity in event records (the high-water mark). */
+    std::size_t slabSlots() const { return slots_.size(); }
+
   private:
+    /** One slab slot: a (possibly recycled) event record. */
     struct Record
     {
-        Tick when;
-        int prio;
-        std::uint64_t seq;
-        std::uint64_t id;
-        std::string name;
-        std::function<void()> fn;
-        bool cancelled = false;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        const char *name = nullptr;
+        EventCallback fn;
+        std::uint32_t gen = 0;
+        std::int32_t prio = 0;
+        bool inUse = false;
     };
 
-    struct Compare
+    /** Heap entry: ordering keys + slab reference; cancelled events
+     *  are detected by a generation mismatch with the slot. */
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::int32_t prio;
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
+
+    /** "Greater" over (when, prio, seq): std::push_heap et al. build
+     *  a max-heap, so this puts the earliest event at the front. */
+    struct After
     {
         bool
-        operator()(const Record *a, const Record *b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
-            if (a->when != b->when)
-                return a->when > b->when;
-            if (a->prio != b->prio)
-                return a->prio > b->prio;
-            return a->seq > b->seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
         }
     };
 
-    Record *popNext();
+    bool stale(const HeapEntry &e) const
+    {
+        return slots_[e.slot].gen != e.gen;
+    }
+
+    /** Pop stale (cancelled) entries off the top of the heap. */
+    void dropStale();
+
+    /** Pop the front heap entry (must not be empty). */
+    HeapEntry popEntry();
+
+    /** Release a slot back to the free list, bumping its generation. */
+    void freeSlot(std::uint32_t slot);
+
+    /** Fire the event referenced by a (valid) heap entry. */
+    void fire(const HeapEntry &e);
+
+    /** Rebuild the heap without stale entries when they dominate. */
+    void maybeCompact();
 
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t executed_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t compactions_ = 0;
+    std::uint64_t containerGrowths_ = 0;
     std::size_t liveEvents_ = 0;
-    std::priority_queue<Record *, std::vector<Record *>, Compare> heap_;
-    // id -> live record, for deschedule.
-    std::unordered_map<std::uint64_t, Record *> pendingById_;
+    std::size_t staleInHeap_ = 0;
+    std::vector<Record> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::vector<HeapEntry> heap_;
 };
 
 } // namespace shrimp::sim

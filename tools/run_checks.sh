@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # End-to-end correctness gate: sanitizer build + tests, clang-tidy on
-# changed files (when installed), and the invariant model checker —
-# both the clean exploration and the seeded I1 mutation that must
-# produce a counterexample.
+# changed files (when installed), the invariant model checker — the
+# clean exploration plus the seeded I1/I2 mutations that must produce
+# counterexamples — and a Release-build self-perf smoke that fails
+# loudly if the simulation core regresses >20% against the committed
+# BENCH_selfperf.json baseline.
 #
 # Usage: tools/run_checks.sh [build-dir]
 #   SHRIMP_TIDY_BASE=<git-ref>   diff base for clang-tidy (default:
 #                                HEAD; use origin/main on a branch)
 #   SHRIMP_CHECK_DEPTH=<n>       model-check DFS depth (default: 8)
+#   SHRIMP_SKIP_SELFPERF=1       skip the self-perf smoke (e.g. on a
+#                                loaded CI box where wall-clock
+#                                numbers are meaningless)
 
 set -euo pipefail
 
@@ -66,8 +71,44 @@ grep "VIOLATION" "${build_dir}/mutation.out" || true
 echo "counterexample produced, as expected"
 
 echo
+echo "== model check: seeded tcache mutation must find an I2 counterexample =="
+if "${build_dir}/tools/udma_model_check" --depth=4 \
+        --mutate=no-tcache-shootdown > "${build_dir}/tcache_mutation.out" 2>&1
+then
+    echo "ERROR: the no-tcache-shootdown mutation went undetected"
+    exit 1
+fi
+if ! grep -q "stale proxy-translation-cache" \
+        "${build_dir}/tcache_mutation.out"; then
+    echo "ERROR: tcache mutation run failed without the stale-cache I2"
+    echo "counterexample:"
+    cat "${build_dir}/tcache_mutation.out"
+    exit 1
+fi
+echo "counterexample produced, as expected"
+
+echo
 echo "== ctest (sanitized) =="
 (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+
+echo
+echo "== self-perf smoke (Release, vs committed BENCH_selfperf.json) =="
+if [ "${SHRIMP_SKIP_SELFPERF:-0}" = "1" ]; then
+    echo "SHRIMP_SKIP_SELFPERF=1; skipping"
+else
+    perf_dir="${build_dir}-selfperf"
+    cmake -B "${perf_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release > /dev/null
+    cmake --build "${perf_dir}" -j "$(nproc)" \
+        --target selfperf_events > /dev/null
+    # The harness exits 1 and prints SELF-PERF REGRESSION if
+    # events/sec drops >20% below the committed baseline; set -e
+    # stops the gate right there.
+    "${perf_dir}/bench/selfperf_events" \
+        --stats-json="${perf_dir}/BENCH_selfperf.json" \
+        --check-against="${repo_root}/BENCH_selfperf.json" \
+        --tolerance=0.20
+fi
 
 echo
 echo "all checks passed"

@@ -623,6 +623,7 @@ usage(std::ostream &os)
           "  --mutate=LIST        comma list of seeded mutations:\n"
           "                       no-inval-on-switch (I1),\n"
           "                       no-proxy-shootdown (I2),\n"
+          "                       no-tcache-shootdown (I2),\n"
           "                       no-proxy-writeprotect (I3),\n"
           "                       no-i4-busy-check (I4)\n"
           "  --replay=LIST        comma list of actions to replay\n"
@@ -642,6 +643,8 @@ parseMutations(const std::string &list, os::MutationKnobs &out)
             out.skipInvalOnSwitch = true;
         } else if (item == "no-proxy-shootdown") {
             out.skipProxyShootdown = true;
+        } else if (item == "no-tcache-shootdown") {
+            out.skipTcacheShootdown = true;
         } else if (item == "no-proxy-writeprotect") {
             out.skipProxyWriteProtect = true;
         } else if (item == "no-i4-busy-check") {
