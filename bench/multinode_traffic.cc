@@ -1,24 +1,80 @@
 /**
  * @file
- * The four-processor prototype (paper Section 8: "At the time of this
- * writing, we have a four-processor prototype running").
+ * Multi-node ring traffic (generalizing the paper's four-processor
+ * prototype run): N nodes in a ring, every node simultaneously
+ * streaming records to its right neighbour through a user-level
+ * msg::Channel — demonstrating that each node's EISA bus, not the
+ * shared backplane, is the bottleneck, as on the real machine.
  *
- * Four nodes in a ring; every node simultaneously streams messages to
- * its right neighbour through a user-level msg::Channel (deliberate-
- * update payloads, automatic-update credits). Reports per-node and
- * aggregate bandwidth — demonstrating that each node's EISA bus, not
- * the shared backplane, is the bottleneck, as on the real machine.
+ * Doubles as the sharded-simulation-core benchmark. With --shards=N
+ * (or auto) the same configuration is run twice, on one shard and on
+ * N shards; the run fails loudly unless both produce bit-identical
+ * simulated time and counters (workload::RingResult::digest), and the
+ * host wall-clock ratio is reported as the parallel speedup.
+ *
+ * Output: BENCH_multinode.json via --stats-json=<path>. With
+ * --check-against=<committed.json> the simulated-time metrics must
+ * match the committed baseline exactly (they are deterministic), and
+ * on hosts with >= 4 hardware threads the sharded speedup must clear
+ * the 2x floor — the CI gate in tools/run_checks.sh.
  */
 
 #include <cstdio>
-#include <vector>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
 
 #include "bench_common.hh"
 #include "core/system.hh"
-#include "msg/channel.hh"
+#include "workload/ring.hh"
 
 using namespace shrimp;
 using namespace shrimp::core;
+
+namespace
+{
+
+/**
+ * Extract "key": <number> from a flat JSON file with a crude scan —
+ * enough for the committed-baseline gate without a JSON parser
+ * dependency in bench/.
+ */
+bool
+scanJsonNumber(const std::string &text, const std::string &key,
+               double &out)
+{
+    std::string needle = "\"" + key + "\":";
+    auto pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t'))
+        ++pos;
+    char *end = nullptr;
+    out = std::strtod(text.c_str() + pos, &end);
+    return end != text.c_str() + pos;
+}
+
+void
+printRun(const char *label, const workload::RingResult &r)
+{
+    std::printf("%-10s %.2f MB/s aggregate, sim %.3f ms, "
+                "%llu events, %llu bytes routed, %.3f s host",
+                label, r.aggregateMbS, double(r.simTicks) / tickMs,
+                (unsigned long long)r.simEvents,
+                (unsigned long long)r.bytesRouted, r.hostSec);
+    if (r.windows > 0) {
+        std::printf(", %llu windows, %llu cross-posts",
+                    (unsigned long long)r.windows,
+                    (unsigned long long)r.crossPosts);
+    }
+    std::printf("\n");
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -26,92 +82,206 @@ main(int argc, char **argv)
     auto opts = parseRunOptions(argc, argv);
     if (!opts.ok)
         return 2;
+
+    workload::RingConfig cfg;
+    std::string check_against;
+    double tolerance = 0.20;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--nodes=", 0) == 0) {
+            cfg.nodes =
+                unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
+        } else if (arg.rfind("--records=", 0) == 0) {
+            cfg.records =
+                unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg.rfind("--record-bytes=", 0) == 0) {
+            cfg.recordBytes = std::uint32_t(
+                std::strtoul(arg.c_str() + 15, nullptr, 10));
+        } else if (arg.rfind("--check-against=", 0) == 0) {
+            check_against = arg.substr(16);
+        } else if (arg.rfind("--tolerance=", 0) == 0) {
+            tolerance = std::strtod(arg.c_str() + 12, nullptr);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (cfg.nodes < 2 || cfg.records == 0 || cfg.recordBytes == 0
+        || cfg.recordBytes > 4080) {
+        std::fprintf(stderr,
+                     "want --nodes>=2, --records>=1, and "
+                     "0 < --record-bytes <= 4080\n");
+        return 2;
+    }
+
+    const unsigned shards = resolveShards(opts, cfg.nodes);
+    const unsigned host_cores = std::thread::hardware_concurrency();
+
     bench::BenchReport report("multinode_traffic", opts);
+    report.setParam("nodes", double(cfg.nodes));
+    report.setParam("records", double(cfg.records));
+    report.setParam("record_bytes", double(cfg.recordBytes));
+    report.setParam("shards", double(shards));
+    report.setParam("host_cores", double(host_cores));
 
-    constexpr unsigned nodes = 4;
-    constexpr unsigned records = 64;
-    constexpr std::uint32_t recordBytes = 4080; // one slot payload
-
-    SystemConfig cfg;
-    cfg.nodes = nodes;
-    cfg.node.memBytes = 8 << 20;
-    // Each node runs a sender and a receiver process on one CPU; a
-    // fine quantum lets them pipeline instead of stalling ring-full
-    // for whole scheduling quanta.
-    cfg.params.quantumUs = 200.0;
-    cfg.node.devices.push_back(DeviceConfig{});
-    System sys(cfg);
-
-    std::vector<msg::ChannelRendezvous> rv(nodes);
-    std::vector<Tick> done(nodes, 0);
-    Tick start_max = 0;
-    std::vector<Tick> started(nodes, 0);
-
-    for (unsigned n = 0; n < nodes; ++n) {
-        auto *me = &sys.node(n);
-        auto *right = &sys.node((n + 1) % nodes);
-
-        // Receiver half: accept from the left neighbour.
-        me->kernel().spawn(
-            "recv" + std::to_string(n),
-            [&, me, n](os::UserContext &ctx) -> sim::ProcTask {
-                NodeId left = (n + nodes - 1) % nodes;
-                msg::ReceiverChannel ch(ctx, 0, *me->ni(), left);
-                if (!co_await ch.bind(rv[left]))
-                    fatal("bind failed on node ", n);
-                for (unsigned r = 0; r < records; ++r) {
-                    std::uint32_t len = 0;
-                    (void)co_await ch.recvZeroCopy(len);
-                    co_await ch.ackLast();
-                }
-                done[n] = ctx.kernel().eq().now();
-            });
-
-        // Sender half: stream to the right neighbour.
-        me->kernel().spawn(
-            "send" + std::to_string(n),
-            [&, me, right, n](os::UserContext &ctx) -> sim::ProcTask {
-                msg::SenderChannel ch(ctx, 0, *me->ni(), right->id());
-                if (!co_await ch.connect(rv[n]))
-                    fatal("connect failed on node ", n);
-                Addr buf = co_await ctx.sysAllocMemory(recordBytes);
-                for (Addr off = 0; off < recordBytes; off += 4096)
-                    co_await ctx.store(buf + off, n);
-                started[n] = ctx.kernel().eq().now();
-                for (unsigned r = 0; r < records; ++r)
-                    co_await ch.send(buf, recordBytes);
-            });
-    }
-
-    sys.runUntilAllDone(Tick(300) * tickSec);
-    sys.run();
-
-    std::printf("# 4-node ring, %u x %u B per link, user-level "
+    std::printf("# %u-node ring, %u x %u B per link, user-level "
                 "channels\n",
-                records, recordBytes);
-    std::printf("%6s %12s %12s\n", "node", "time_us", "MB_per_s");
-    double aggregate = 0;
-    for (unsigned n = 0; n < nodes; ++n)
-        start_max = std::max(start_max, started[n]);
-    for (unsigned n = 0; n < nodes; ++n) {
-        double us = ticksToUs(done[n] - started[(n + nodes - 1)
-                                                % nodes]);
-        double mbs = records * double(recordBytes) / us * 1e6
-                     / (1 << 20);
-        aggregate += mbs;
-        std::printf("%6u %12.0f %12.2f\n", n, us, mbs);
+                cfg.nodes, cfg.records, cfg.recordBytes);
+
+    workload::RingResult result;
+    double speedup = 0;
+    bool identical = true;
+
+    if (shards > 0) {
+        // Reference run on one shard: same engine, same canonical
+        // ordering, no parallelism.
+        workload::RingConfig seq = cfg;
+        seq.shards = 1;
+        workload::RingResult r1 = workload::runRing(seq);
+        printRun("shards=1:", r1);
+
+        workload::RingConfig par = cfg;
+        par.shards = shards;
+        result = workload::runRing(par);
+        char label[32];
+        std::snprintf(label, sizeof label, "shards=%u:", shards);
+        printRun(label, result);
+
+        identical = r1.digest == result.digest
+                    && r1.simTicks == result.simTicks
+                    && r1.simEvents == result.simEvents
+                    && r1.bytesRouted == result.bytesRouted
+                    && r1.bytesDelivered == result.bytesDelivered;
+        if (!identical) {
+            std::fprintf(
+                stderr,
+                "DETERMINISM VIOLATION: shards=1 vs shards=%u "
+                "diverged:\n"
+                "  digest        %016llx vs %016llx\n"
+                "  sim_ticks     %llu vs %llu\n"
+                "  sim_events    %llu vs %llu\n"
+                "  bytes_routed  %llu vs %llu\n"
+                "  bytes_deliv   %llu vs %llu\n",
+                shards, (unsigned long long)r1.digest,
+                (unsigned long long)result.digest,
+                (unsigned long long)r1.simTicks,
+                (unsigned long long)result.simTicks,
+                (unsigned long long)r1.simEvents,
+                (unsigned long long)result.simEvents,
+                (unsigned long long)r1.bytesRouted,
+                (unsigned long long)result.bytesRouted,
+                (unsigned long long)r1.bytesDelivered,
+                (unsigned long long)result.bytesDelivered);
+            return 1;
+        }
+        std::printf("determinism: shards=1 and shards=%u bit-identical "
+                    "(digest %016llx)\n",
+                    shards, (unsigned long long)result.digest);
+
+        if (result.hostSec > 0)
+            speedup = r1.hostSec / result.hostSec;
+        std::printf("speedup: %.2fx on %u shards (%u host cores)\n",
+                    speedup, shards, host_cores);
+        report.addMetric("wall_s_seq", r1.hostSec);
+        report.addMetric("wall_s_shards", result.hostSec);
+        report.addMetric("speedup", speedup);
+    } else {
+        result = workload::runRing(cfg);
+        printRun("legacy:", result);
+        report.addMetric("wall_s_seq", result.hostSec);
     }
+
     std::printf("aggregate: %.2f MB/s across %u concurrent links "
                 "(backplane moved %llu bytes)\n",
-                aggregate, nodes,
-                (unsigned long long)sys.net().bytesRouted());
+                result.aggregateMbS, cfg.nodes,
+                (unsigned long long)result.bytesRouted);
     std::printf("# Each link runs near the single-link EISA-bound "
                 "rate: the backplane is not the bottleneck.\n");
-    bench::captureSystem(sys);
-    report.setParam("nodes", double(nodes));
-    report.setParam("records", double(records));
-    report.setParam("record_bytes", double(recordBytes));
-    report.addMetric("aggregate_mb_s", aggregate);
+
+    char digest_hex[20];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  (unsigned long long)result.digest);
+    report.setParam("digest", std::string(digest_hex));
+    report.addMetric("aggregate_mb_s", result.aggregateMbS);
+    report.addMetric("sim_ticks", double(result.simTicks));
+    report.addMetric("sim_events", double(result.simEvents));
+    report.addMetric("bytes_routed", double(result.bytesRouted));
+    report.addMetric("bytes_delivered", double(result.bytesDelivered));
+    report.addMetric("messages_delivered",
+                     double(result.messagesDelivered));
+    report.addMetric("events_per_sec",
+                     result.hostSec > 0
+                         ? double(result.simEvents) / result.hostSec
+                         : 0);
+    report.addMetric("identical", identical ? 1 : 0);
     report.write();
+
+    if (!check_against.empty()) {
+        std::ifstream in(check_against);
+        if (!in) {
+            std::fprintf(stderr,
+                         "MULTINODE GATE ERROR: cannot read baseline "
+                         "%s\n",
+                         check_against.c_str());
+            return 3;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const std::string text = ss.str();
+
+        // Simulated-time outputs are deterministic: they must match
+        // the committed baseline exactly, not within a tolerance.
+        struct ExactKey
+        {
+            const char *key;
+            double have;
+        } exact[] = {
+            {"sim_ticks", double(result.simTicks)},
+            {"sim_events", double(result.simEvents)},
+            {"bytes_routed", double(result.bytesRouted)},
+            {"bytes_delivered", double(result.bytesDelivered)},
+            {"messages_delivered", double(result.messagesDelivered)},
+        };
+        for (const auto &e : exact) {
+            double base = 0;
+            if (!scanJsonNumber(text, e.key, base)) {
+                std::fprintf(stderr,
+                             "MULTINODE GATE ERROR: no %s in %s\n",
+                             e.key, check_against.c_str());
+                return 3;
+            }
+            if (base != e.have) {
+                std::fprintf(stderr,
+                             "MULTINODE REGRESSION: %s = %.0f differs "
+                             "from committed baseline %.0f (%s)\n",
+                             e.key, e.have, base,
+                             check_against.c_str());
+                return 1;
+            }
+        }
+        std::printf("multinode gate: simulated-time metrics match the "
+                    "committed baseline exactly\n");
+
+        // The wall-clock speedup floor only means something with real
+        // parallelism underneath (the determinism check above runs
+        // everywhere regardless).
+        if (shards >= 2 && host_cores >= 4) {
+            double floor = 2.0 * (1.0 - tolerance);
+            std::printf("multinode gate: speedup %.2fx vs floor "
+                        "%.2fx on %u cores\n",
+                        speedup, floor, host_cores);
+            if (speedup < floor) {
+                std::fprintf(stderr,
+                             "MULTINODE REGRESSION: %.2fx speedup on "
+                             "%u shards is below the %.2fx floor\n",
+                             speedup, shards, floor);
+                return 1;
+            }
+        } else if (shards >= 2) {
+            std::printf("multinode gate: %u host core(s) — speedup "
+                        "floor skipped (need >= 4)\n",
+                        host_cores);
+        }
+    }
     return 0;
 }

@@ -32,6 +32,10 @@ parseMode(const std::string &spec, Mode &out)
         out = Mode::EveryEvent;
         return true;
     }
+    if (spec == "at-barrier") {
+        out = Mode::AtBarrier;
+        return true;
+    }
     return false;
 }
 
@@ -42,6 +46,7 @@ modeName(Mode m)
       case Mode::Off: return "off";
       case Mode::OnSwitch: return "on-switch";
       case Mode::EveryEvent: return "every-event";
+      case Mode::AtBarrier: return "at-barrier";
     }
     return "?";
 }
@@ -49,7 +54,9 @@ modeName(Mode m)
 Monitor::Monitor(core::System &sys, Mode mode, bool fail_fast)
     : sys_(sys), mode_(mode), failFast_(fail_fast)
 {
-    if (mode_ == Mode::Off)
+    // AtBarrier installs no per-event hooks: the sharded engine calls
+    // auditNow from its barrier hook, when all shards are quiescent.
+    if (mode_ == Mode::Off || mode_ == Mode::AtBarrier)
         return;
     const bool every = mode_ == Mode::EveryEvent;
     for (unsigned i = 0; i < sys_.nodeCount(); ++i) {
@@ -72,7 +79,7 @@ Monitor::Monitor(core::System &sys, Mode mode, bool fail_fast)
 
 Monitor::~Monitor()
 {
-    if (mode_ == Mode::Off)
+    if (mode_ == Mode::Off || mode_ == Mode::AtBarrier)
         return;
     for (unsigned i = 0; i < sys_.nodeCount(); ++i) {
         os::Kernel &k = sys_.node(i).kernel();

@@ -37,9 +37,19 @@ enum class Mode
     OnSwitch,
     /** Audit after every kernel event and DMA completion. */
     EveryEvent,
+    /**
+     * Audit only at sharded-engine window barriers, where every
+     * shard is quiescent and cross-shard state is consistent. The
+     * only mode usable with --shards > 0: the per-event hooks would
+     * run concurrently from worker threads and read other shards'
+     * state mid-window. System::enableAudit coerces the other modes
+     * to this one when sharded and wires the barrier hook.
+     */
+    AtBarrier,
 };
 
-/** "off", "on-switch", "every-event" -> Mode; false on junk. */
+/** "off", "on-switch", "every-event", "at-barrier" -> Mode;
+ *  false on junk. */
 bool parseMode(const std::string &spec, Mode &out);
 
 const char *modeName(Mode m);

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <ostream>
+#include <thread>
 
 #include "check/monitor.hh"
 #include "sim/json.hh"
@@ -41,16 +42,18 @@ applyTraceEnv()
 
 } // namespace
 
-Node::Node(System &sys, NodeId id, const SystemConfig &cfg) : id_(id)
+Node::Node(System &sys, NodeId id, const SystemConfig &cfg,
+           sim::EventQueue &eq)
+    : id_(id)
 {
     const auto &params = sys.params();
     const auto &layout = sys.layout();
 
     memory_ = std::make_unique<mem::PhysicalMemory>(
         cfg.node.memBytes, params.pageBytes);
-    ioBus_ = std::make_unique<bus::IoBus>(sys.eq(), params);
+    ioBus_ = std::make_unique<bus::IoBus>(eq, params);
     mmu_ = std::make_unique<vm::Mmu>(layout);
-    kernel_ = std::make_unique<os::Kernel>(sys.eq(), params, layout,
+    kernel_ = std::make_unique<os::Kernel>(eq, params, layout,
                                            *memory_, *ioBus_, *mmu_);
 
     for (unsigned slot = 0; slot < cfg.node.devices.size(); ++slot) {
@@ -62,7 +65,7 @@ Node::Node(System &sys, NodeId id, const SystemConfig &cfg) : id_(id)
         if (dc.kind == DeviceKind::FifoNic) {
             devices_.emplace_back(nullptr);
             fifoNic_ = std::make_unique<baseline::FifoNic>(
-                sys.eq(), params, id, *ioBus_, sys.fifoFabric(), slot,
+                eq, params, id, *ioBus_, sys.fifoFabric(), slot,
                 params.pageBytes);
             kernel_->registerDeviceWindow(
                 slot, fifoNic_->proxyExtentBytes());
@@ -73,8 +76,9 @@ Node::Node(System &sys, NodeId id, const SystemConfig &cfg) : id_(id)
         switch (dc.kind) {
           case DeviceKind::ShrimpNi: {
             auto ni = std::make_unique<net::NetworkInterface>(
-                sys.eq(), params, id, *memory_, *ioBus_, sys.net(),
+                eq, params, id, *memory_, *ioBus_, sys.net(),
                 params.pageBytes);
+            ni->setRouter(sys.engine());
             ni_ = ni.get();
             udev = std::move(ni);
             break;
@@ -105,13 +109,13 @@ Node::Node(System &sys, NodeId id, const SystemConfig &cfg) : id_(id)
 
         if (dc.driver == DriverKind::Udma) {
             controllers_[slot] = std::make_unique<dma::UdmaController>(
-                sys.eq(), params, layout, *memory_, *ioBus_, *udev, slot,
+                eq, params, layout, *memory_, *ioBus_, *udev, slot,
                 dc.queueDepth);
             kernel_->attachController(controllers_[slot].get());
         } else {
             drivers_[slot] =
                 std::make_unique<baseline::TraditionalDmaDriver>(
-                    sys.eq(), params, *memory_, *ioBus_, *udev);
+                    eq, params, *memory_, *ioBus_, *udev);
         }
         devices_.push_back(std::move(udev));
     }
@@ -159,15 +163,35 @@ System::System(const SystemConfig &cfg)
     if (cfg.nodes == 0)
         fatal("a system needs at least one node");
     applyTraceEnv();
+
+    if (cfg_.shards > 0) {
+        for (const DeviceConfig &dc : cfg_.node.devices) {
+            if (dc.kind == DeviceKind::FifoNic) {
+                fatal("the FIFO-NIC baseline reads peer state "
+                      "synchronously and cannot run sharded; drop "
+                      "--shards or the FifoNic device");
+            }
+        }
+        // The synchronization horizon: nothing crosses nodes faster
+        // than one backplane hop (DESIGN.md §10).
+        Tick lookahead =
+            std::max<Tick>(1, cfg_.params.linkLatency());
+        unsigned shards = std::min(cfg_.shards, cfg_.nodes);
+        engine_ = std::make_unique<sim::ShardedEngine>(
+            cfg_.nodes, shards, lookahead);
+    }
+
     for (unsigned i = 0; i < cfg.nodes; ++i)
-        nodes_.push_back(std::make_unique<Node>(*this, i, cfg_));
+        nodes_.push_back(
+            std::make_unique<Node>(*this, i, cfg_, nodeEq(i)));
 
     // SHRIMP_AUDIT wins over a --audit= seen by parseRunOptions.
     const char *env = std::getenv("SHRIMP_AUDIT");
     std::string spec = env && *env ? env : g_pendingAuditSpec;
     if (!spec.empty() && !enableAudit(spec)) {
         std::cerr << "audit: unknown mode '" << spec
-                  << "' (want every-event, on-switch or off)\n";
+                  << "' (want every-event, on-switch, at-barrier or "
+                     "off)\n";
     }
 }
 
@@ -179,18 +203,39 @@ System::enableAudit(const std::string &spec, bool fail_fast)
     audit::Mode mode;
     if (!audit::parseMode(spec, mode))
         return false;
+    if (engine_)
+        engine_->setBarrierHook({});
     auditor_.reset();
-    if (mode != audit::Mode::Off)
+    if (mode == audit::Mode::Off)
+        return true;
+    if (engine_) {
+        // Per-event hooks would fire concurrently on worker threads
+        // and read other shards' state mid-window; audit where the
+        // world is quiescent instead.
+        mode = audit::Mode::AtBarrier;
         auditor_ = std::make_unique<audit::Monitor>(*this, mode,
                                                     fail_fast);
+        engine_->setBarrierHook(
+            [this] { auditor_->auditNow("window-barrier"); });
+        return true;
+    }
+    if (mode == audit::Mode::AtBarrier) {
+        // No barriers without the sharded engine; the closest
+        // legacy equivalent is the context-switch audit.
+        std::cerr << "audit: at-barrier needs --shards > 0; "
+                     "auditing on-switch instead\n";
+        mode = audit::Mode::OnSwitch;
+    }
+    auditor_ = std::make_unique<audit::Monitor>(*this, mode,
+                                                fail_fast);
     return true;
 }
 
 void
 System::dumpStats(std::ostream &os)
 {
-    os << "sim.ticks " << eq_.now() << "\n";
-    os << "sim.events " << eq_.eventsExecuted() << "\n";
+    os << "sim.ticks " << simNow() << "\n";
+    os << "sim.events " << simEvents() << "\n";
     os << "net.bytesRouted " << net_.bytesRouted() << "\n";
     for (auto &np : nodes_) {
         Node &n = *np;
@@ -221,8 +266,8 @@ System::dumpStatsJson(std::ostream &os)
     w.beginObject();
     w.key("sim");
     w.beginObject();
-    w.field("ticks", eq_.now());
-    w.field("events", eq_.eventsExecuted());
+    w.field("ticks", simNow());
+    w.field("events", simEvents());
     w.endObject();
     w.key("net");
     w.beginObject();
@@ -293,10 +338,28 @@ parseRunOptions(int &argc, char **argv)
             audit::Mode mode;
             if (!audit::parseMode(opts.auditSpec, mode)) {
                 std::cerr << "--audit: unknown mode '" << opts.auditSpec
-                          << "' (want every-event, on-switch or off)\n";
+                          << "' (want every-event, on-switch, "
+                             "at-barrier or off)\n";
                 opts.ok = false;
             } else {
                 g_pendingAuditSpec = opts.auditSpec;
+            }
+            continue;
+        }
+        if (arg.rfind("--shards=", 0) == 0) {
+            std::string spec = arg.substr(std::strlen("--shards="));
+            if (spec == "auto") {
+                opts.shardsAuto = true;
+            } else {
+                char *end = nullptr;
+                unsigned long n = std::strtoul(spec.c_str(), &end, 10);
+                if (spec.empty() || (end && *end)) {
+                    std::cerr << "--shards: want a count or 'auto', "
+                                 "got '" << spec << "'\n";
+                    opts.ok = false;
+                } else {
+                    opts.shards = unsigned(n);
+                }
             }
             continue;
         }
@@ -304,6 +367,17 @@ parseRunOptions(int &argc, char **argv)
     }
     argc = out;
     return opts;
+}
+
+unsigned
+resolveShards(const RunOptions &opts, unsigned nodes)
+{
+    if (opts.shardsAuto) {
+        unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        return std::min(nodes, hw);
+    }
+    return std::min(opts.shards, nodes);
 }
 
 void
@@ -322,15 +396,14 @@ writeStatsJson(System &sys, const RunOptions &opts)
 Tick
 System::runUntilAllDone(Tick limit)
 {
-    Tick t = eq_.runUntil(
-        [this] {
-            for (auto &n : nodes_) {
-                if (!n->kernel().allProcessesDone())
-                    return false;
-            }
-            return true;
-        },
-        limit);
+    auto all_done = [this] {
+        for (auto &n : nodes_) {
+            if (!n->kernel().allProcessesDone())
+                return false;
+        }
+        return true;
+    };
+    Tick t = runUntil(all_done, limit);
     for (auto &n : nodes_)
         n->kernel().rethrowProcessFailures();
     return t;

@@ -41,6 +41,7 @@
 #include "shrimp/network_interface.hh"
 #include "sim/event_queue.hh"
 #include "sim/params.hh"
+#include "sim/sharded.hh"
 #include "vm/layout.hh"
 #include "vm/mmu.hh"
 
@@ -94,6 +95,14 @@ struct NodeConfig
 struct SystemConfig
 {
     unsigned nodes = 1;
+    /**
+     * Simulation shards (worker threads). 0 = the legacy single
+     * shared event queue. N > 0 builds one EventQueue per node and
+     * runs them on min(N, nodes) workers in conservative time windows
+     * (sim/sharded.hh); `--shards=1` and `--shards=N` produce
+     * bit-identical simulated time and counters.
+     */
+    unsigned shards = 0;
     sim::MachineParams params;
     NodeConfig node;
 };
@@ -104,7 +113,10 @@ class System;
 class Node
 {
   public:
-    Node(System &sys, NodeId id, const SystemConfig &cfg);
+    /** @param eq The node's event queue: the System's shared queue in
+     *  legacy mode, this node's own queue under the sharded engine. */
+    Node(System &sys, NodeId id, const SystemConfig &cfg,
+         sim::EventQueue &eq);
     ~Node();
 
     Node(const Node &) = delete;
@@ -163,7 +175,21 @@ class System
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
+    /** The legacy shared queue (also the setup/host clock). Sharded
+     *  components must use nodeEq() instead. */
     sim::EventQueue &eq() { return eq_; }
+
+    /** The queue node @p i's components schedule on: its own queue
+     *  under the sharded engine, the shared queue otherwise. */
+    sim::EventQueue &
+    nodeEq(NodeId i)
+    {
+        return engine_ ? engine_->queue(i) : eq_;
+    }
+
+    /** The sharded engine (nullptr in legacy single-queue mode). */
+    sim::ShardedEngine *engine() { return engine_.get(); }
+
     const sim::MachineParams &params() const { return cfg_.params; }
     const vm::AddressLayout &layout() const { return layout_; }
     net::Interconnect &net() { return net_; }
@@ -172,8 +198,50 @@ class System
     unsigned nodeCount() const { return unsigned(nodes_.size()); }
     Node &node(unsigned i) { return *nodes_.at(i); }
 
+    /** Global simulated time: max of the per-node clocks when
+     *  sharded, the shared queue's clock otherwise. */
+    Tick simNow() const { return engine_ ? engine_->now() : eq_.now(); }
+
+    /** Total events executed across all queues. */
+    std::uint64_t
+    simEvents() const
+    {
+        return engine_ ? engine_->eventsExecuted()
+                       : eq_.eventsExecuted();
+    }
+
     /** Run the event loop up to @p limit. */
-    Tick run(Tick limit = maxTick) { return eq_.run(limit); }
+    Tick
+    run(Tick limit = maxTick)
+    {
+        return engine_ ? engine_->run(limit) : eq_.run(limit);
+    }
+
+    /**
+     * Run until @p pred returns true, or all queues drain, or
+     * @p limit. Sharded: the predicate is evaluated at window
+     * barriers with every worker parked, so it may read any state.
+     */
+    Tick
+    runUntil(const std::function<bool()> &pred, Tick limit = maxTick)
+    {
+        return engine_ ? engine_->runUntil(pred, limit)
+                       : eq_.runUntil(pred, limit);
+    }
+
+    /**
+     * Sequential phase for workload setup that rendezvouses through
+     * host-shared state (e.g. msg::Channel export/import): events of
+     * all nodes are interleaved in one canonical global order on the
+     * calling thread and @p pred is checked after every event.
+     * Identical to runUntil in legacy mode.
+     */
+    Tick
+    runSetup(const std::function<bool()> &pred, Tick limit = maxTick)
+    {
+        return engine_ ? engine_->runSetup(pred, limit)
+                       : eq_.runUntil(pred, limit);
+    }
 
     /**
      * Run until every process on every node is done (or @p limit).
@@ -198,9 +266,12 @@ class System
     /**
      * Turn on continuous invariant auditing (check/monitor.hh):
      * "on-switch" audits at context switches, "every-event" at every
-     * kernel event and DMA completion, "off" detaches. Returns false
-     * on an unknown spec. With @p fail_fast the monitor throws
-     * audit::ViolationError at the first violation.
+     * kernel event and DMA completion, "at-barrier" at sharded window
+     * barriers, "off" detaches. Under the sharded engine every
+     * non-off mode is coerced to at-barrier — the only point where
+     * all shards are quiescent. Returns false on an unknown spec.
+     * With @p fail_fast the monitor throws audit::ViolationError at
+     * the first violation.
      */
     bool enableAudit(const std::string &spec, bool fail_fast = false);
 
@@ -210,6 +281,9 @@ class System
   private:
     SystemConfig cfg_;
     sim::EventQueue eq_;
+    /** Declared before nodes_: node components hold references into
+     *  its per-node queues. */
+    std::unique_ptr<sim::ShardedEngine> engine_;
     vm::AddressLayout layout_;
     net::Interconnect net_;
     baseline::FifoFabric fifoFabric_;
@@ -228,18 +302,30 @@ struct RunOptions
     std::string statsJsonPath; ///< empty: no JSON dump requested
     std::string traceSpec;     ///< empty: tracing unchanged
     std::string auditSpec;     ///< empty: invariant auditing off
+    unsigned shards = 0;       ///< `--shards=N` (0: legacy queue)
+    bool shardsAuto = false;   ///< `--shards=auto` was given
     bool ok = true;            ///< false: a malformed option was seen
 };
 
 /**
- * Parse and strip `--stats-json=` / `--trace=` / `--audit=` from argv
- * (compacting argc/argv in place so argument-consuming frameworks
- * never see them); a `--trace=` spec is applied immediately and an
- * `--audit=` spec (`every-event` or `on-switch`) is applied to the
- * next System constructed in this process. Other arguments are left
- * untouched.
+ * Parse and strip `--stats-json=` / `--trace=` / `--audit=` /
+ * `--shards=` from argv (compacting argc/argv in place so
+ * argument-consuming frameworks never see them); a `--trace=` spec is
+ * applied immediately and an `--audit=` spec (`every-event`,
+ * `on-switch` or `at-barrier`) is applied to the next System
+ * constructed in this process. `--shards=N|auto` is reported in
+ * RunOptions for the caller to place into SystemConfig::shards
+ * (resolveShards maps `auto` to the host's core count). Other
+ * arguments are left untouched.
  */
 RunOptions parseRunOptions(int &argc, char **argv);
+
+/**
+ * The shard count a run should use: `auto` resolves to
+ * min(nodes, hardware threads), an explicit N is clamped to the node
+ * count, 0 stays 0 (legacy single queue).
+ */
+unsigned resolveShards(const RunOptions &opts, unsigned nodes);
 
 /** Write sys.dumpStatsJson to opts.statsJsonPath if one was given. */
 void writeStatsJson(System &sys, const RunOptions &opts);

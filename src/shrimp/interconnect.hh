@@ -8,17 +8,25 @@
  * per-hop routing latency. This is deliberately faster than the EISA
  * bus on either end, as in the real system, so the network itself is
  * rarely the bottleneck.
+ *
+ * All per-node state (the NI table, link-busy horizon, byte counters)
+ * lives in dense vectors indexed by NodeId — nodes are 0..N-1, so an
+ * injection costs one array access, not a tree lookup. Under the
+ * sharded engine (sim/sharded.hh) a node's injection link is only
+ * ever touched by the shard executing that node, so each slot is
+ * naturally shard-local: the byte counters are exact with no shared
+ * atomics, and bytesRouted() merges them when the world is quiescent
+ * (window barriers or after the run).
  */
 
 #ifndef SHRIMP_SHRIMP_INTERCONNECT_HH
 #define SHRIMP_SHRIMP_INTERCONNECT_HH
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/params.hh"
-#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace shrimp::net
@@ -34,12 +42,17 @@ class Interconnect
         : eq_(eq), params_(params)
     {}
 
-    /** Register a node's NI. */
+    /**
+     * Register a node's NI. Also the moment the per-node slots are
+     * sized: attach happens during (single-threaded) System
+     * construction, so no vector ever grows while shards run.
+     */
     void
     attach(NodeId node, NetworkInterface *ni)
     {
         SHRIMP_ASSERT(ni, "null NI");
-        SHRIMP_ASSERT(nis_.count(node) == 0, "node already attached");
+        grow(node);
+        SHRIMP_ASSERT(!nis_[node], "node already attached");
         nis_[node] = ni;
     }
 
@@ -47,41 +60,71 @@ class Interconnect
     NetworkInterface *
     ni(NodeId node) const
     {
-        auto it = nis_.find(node);
-        SHRIMP_ASSERT(it != nis_.end(), "no NI for node ", node);
-        return it->second;
+        SHRIMP_ASSERT(node < nis_.size() && nis_[node],
+                      "no NI for node ", node);
+        return nis_[node];
     }
 
-    bool hasNode(NodeId node) const { return nis_.count(node) != 0; }
+    bool
+    hasNode(NodeId node) const
+    {
+        return node < nis_.size() && nis_[node] != nullptr;
+    }
 
     /**
-     * Occupy node @p src's injection link for @p bytes; returns the
-     * tick at which the last byte has been injected.
+     * Occupy node @p src's injection link for @p bytes starting no
+     * earlier than @p now; returns the tick at which the last byte
+     * has been injected. Only the shard executing @p src may call
+     * this (its link and byte slots are that shard's state).
      */
+    Tick
+    acquireLink(NodeId src, std::uint64_t bytes, Tick now)
+    {
+        grow(src);
+        Tick start = std::max(now, linkFreeAt_[src]);
+        linkFreeAt_[src] = start + params_.linkTransfer(bytes);
+        linkBytes_[src] += bytes;
+        return linkFreeAt_[src];
+    }
+
+    /** Legacy single-queue convenience: "now" is the shared clock. */
     Tick
     acquireLink(NodeId src, std::uint64_t bytes)
     {
-        Tick &free_at = linkFreeAt_[src];
-        Tick start = std::max(eq_.now(), free_at);
-        free_at = start + params_.linkTransfer(bytes);
-        bytes_ += double(bytes);
-        return free_at;
+        return acquireLink(src, bytes, eq_.now());
     }
 
     /** Routing latency from injection to ejection. */
     Tick hopLatency() const { return params_.linkLatency(); }
 
-    std::uint64_t bytesRouted() const
+    /** Total bytes injected, merged over the per-source counters.
+     *  Exact when the shards are quiescent (barriers / post-run). */
+    std::uint64_t
+    bytesRouted() const
     {
-        return std::uint64_t(bytes_.value());
+        std::uint64_t total = 0;
+        for (std::uint64_t b : linkBytes_)
+            total += b;
+        return total;
     }
 
   private:
+    void
+    grow(NodeId node)
+    {
+        if (node < nis_.size())
+            return;
+        nis_.resize(node + 1, nullptr);
+        linkFreeAt_.resize(node + 1, 0);
+        linkBytes_.resize(node + 1, 0);
+    }
+
     sim::EventQueue &eq_;
     const sim::MachineParams &params_;
-    std::map<NodeId, NetworkInterface *> nis_;
-    std::map<NodeId, Tick> linkFreeAt_;
-    stats::Scalar bytes_;
+    std::vector<NetworkInterface *> nis_;
+    std::vector<Tick> linkFreeAt_;
+    /** Per-source injected bytes (shard-local, merged on read). */
+    std::vector<std::uint64_t> linkBytes_;
 };
 
 } // namespace shrimp::net

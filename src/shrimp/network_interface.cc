@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/sharded.hh"
 #include "sim/trace.hh"
 
 namespace shrimp::net
@@ -291,6 +292,27 @@ NetworkInterface::allowProxyMap(std::uint64_t first_page,
 // Packet pump: outgoing FIFO -> backplane (cut-through)
 // --------------------------------------------------------------------
 
+std::uint32_t &
+NetworkInterface::creditsFor(NodeId dst)
+{
+    if (dst >= txCredits_.size())
+        txCredits_.resize(dst + 1, params_.niFifoBytes);
+    return txCredits_[dst];
+}
+
+void
+NetworkInterface::postToNode(NodeId dst, Tick when, const char *name,
+                             sim::EventCallback fn)
+{
+    if (router_) {
+        router_->post(node_, dst, when, name, std::move(fn),
+                      sim::EventPriority::DeviceCompletion);
+    } else {
+        eq_.schedule(when, name, std::move(fn),
+                     sim::EventPriority::DeviceCompletion);
+    }
+}
+
 void
 NetworkInterface::pump()
 {
@@ -325,19 +347,19 @@ NetworkInterface::pump()
     std::uint32_t avail = msg.pushed - msg.launched;
     std::uint32_t q = std::min(avail, pumpChunkBytes);
 
-    NetworkInterface *peer = net_.ni(msg.dstNode);
-    if (peer->rxFifoFree() < q) {
-        // Credit-based backpressure: retry when the receiver drains.
-        peer->addCreditWaiter([this] { pump(); });
+    // Sender-side credit window: launching consumes credits; the
+    // receiver's DMA returns them one hop after draining the chunk
+    // (creditReturn re-pumps). No receiver state is read here.
+    std::uint32_t &credits = creditsFor(msg.dstNode);
+    if (credits < q)
         return;
-    }
-    peer->rxReserve(q);
+    credits -= q;
 
     bool msg_start = msg.launched == 0;
     bool msg_end = msg.launched + q == msg.total;
     std::uint64_t wire_bytes =
         q + (msg_start ? params_.niHeaderBytes : 0);
-    Tick injected = net_.acquireLink(node_, wire_bytes);
+    Tick injected = net_.acquireLink(node_, wire_bytes, eq_.now());
     Tick arrival = injected + net_.hopLatency();
 
     std::vector<std::uint8_t> payload(
@@ -348,14 +370,16 @@ NetworkInterface::pump()
     Tick sender_start = msg.startTick;
 
     pumpBusy_ = true;
-    eq_.schedule(
-        arrival, "ni.deliver",
+    // The peer pointer is only dereferenced when the event fires, on
+    // the destination node's own shard.
+    NetworkInterface *peer = net_.ni(msg.dstNode);
+    postToNode(
+        msg.dstNode, arrival, "ni.deliver",
         [peer, src, dst_addr, payload = std::move(payload), msg_start,
          msg_end, sender_start]() mutable {
             peer->rxDeliver(src, dst_addr, std::move(payload),
                             msg_start, msg_end, sender_start);
-        },
-        sim::EventPriority::DeviceCompletion);
+        });
 
     eq_.schedule(
         injected, "ni.pump",
@@ -378,34 +402,16 @@ NetworkInterface::pump()
 // Receive side: backplane -> incoming FIFO -> EISA DMA -> memory
 // --------------------------------------------------------------------
 
-std::uint32_t
-NetworkInterface::rxFifoFree() const
-{
-    return params_.niFifoBytes - rxFifoBytes_ - rxReserved_;
-}
-
 void
-NetworkInterface::rxReserve(std::uint32_t bytes)
+NetworkInterface::creditReturn(NodeId dst, std::uint32_t bytes)
 {
-    SHRIMP_ASSERT(bytes <= rxFifoFree(), "rx overcommit");
-    rxReserved_ += bytes;
-}
-
-void
-NetworkInterface::addCreditWaiter(std::function<void()> fn)
-{
-    creditWaiters_.push_back(std::move(fn));
-}
-
-void
-NetworkInterface::grantCredits()
-{
-    if (creditWaiters_.empty())
-        return;
-    std::vector<std::function<void()>> waiters;
-    waiters.swap(creditWaiters_);
-    for (auto &fn : waiters)
-        fn();
+    std::uint32_t &credits = creditsFor(dst);
+    credits += bytes;
+    SHRIMP_ASSERT(credits <= params_.niFifoBytes,
+                  "credit window overflow toward node ", dst);
+    // A chunk may be stalled on this window; re-evaluate (idempotent,
+    // returns immediately when the pump is mid-flight or idle).
+    pump();
 }
 
 void
@@ -415,8 +421,6 @@ NetworkInterface::rxDeliver(NodeId src, Addr dst_addr,
                             Tick sender_start)
 {
     auto len = std::uint32_t(data.size());
-    SHRIMP_ASSERT(rxReserved_ >= len, "unreserved rx delivery");
-    rxReserved_ -= len;
     rxFifoBytes_ += len;
     rxChunks_.push_back(RxChunk{src, dst_addr, std::move(data),
                                 msg_start, msg_end, sender_start});
@@ -447,7 +451,15 @@ NetworkInterface::rxPump()
             SHRIMP_ASSERT(rxFifoBytes_ >= len, "rx FIFO underflow");
             rxFifoBytes_ -= len;
             rxDmaBusy_ = false;
-            grantCredits();
+            // Return the credits to the sender's window, one
+            // backplane hop away (self-sends included, so the
+            // accounting is uniform).
+            NetworkInterface *sender = net_.ni(chunk.src);
+            postToNode(chunk.src, eq_.now() + net_.hopLatency(),
+                       "ni.credit",
+                       [sender, me = node_, len] {
+                           sender->creditReturn(me, len);
+                       });
             if (chunk.msgEnd) {
                 // The completion flag/word becomes visible a little
                 // after the data (write buffers, ordering).

@@ -15,10 +15,21 @@
  * observable through an optional callback (benchmarks) and by polling
  * memory (user programs), just like the real system.
  *
- * Flow control is credit-based: a sender launches a chunk only after
- * reserving space in the receiver's incoming FIFO, so a slow receiver
+ * Flow control is credit-based and entirely sender-side: each sender
+ * holds a credit window per destination, sized to the receiver's
+ * incoming FIFO. Launching a chunk consumes credits; the receiver's
+ * EISA DMA returns them in a credit message one backplane hop after
+ * it drains the chunk into memory. A slow receiver therefore
  * backpressures the sender's outgoing FIFO and, through it, the UDMA
- * engine.
+ * engine — without the sender ever reading receiver state
+ * synchronously, which is what lets nodes run on separate simulation
+ * shards (sim/sharded.hh).
+ *
+ * All cross-node traffic (chunk deliveries and credit returns) is
+ * posted through an optional sim::NodeRouter at >= one hop in the
+ * future; without a router (direct construction in tests, or the
+ * legacy single-queue System) the NI schedules on its own queue,
+ * which is the same thing when that queue is shared.
  */
 
 #ifndef SHRIMP_SHRIMP_NETWORK_INTERFACE_HH
@@ -39,6 +50,11 @@
 #include "sim/event_queue.hh"
 #include "sim/params.hh"
 #include "sim/stats.hh"
+
+namespace shrimp::sim
+{
+class NodeRouter;
+} // namespace shrimp::sim
 
 namespace shrimp::net
 {
@@ -67,6 +83,14 @@ class NetworkInterface : public dma::UdmaDevice
     NodeId node() const { return node_; }
     Nipt &nipt() { return nipt_; }
     const Nipt &nipt() const { return nipt_; }
+
+    /**
+     * Route cross-node deliveries and credit returns through the
+     * sharded engine's mailboxes (core::System wires this when built
+     * with shards). Without a router they are scheduled directly on
+     * this NI's own event queue.
+     */
+    void setRouter(sim::NodeRouter *router) { router_ = router; }
 
     // --------------------------------- automatic update (Section 9)
     /**
@@ -162,19 +186,19 @@ class NetworkInterface : public dma::UdmaDevice
                        bool writable) const override;
 
     // ------------------------------------ receive side (peer-facing)
-    /** Free space in the incoming FIFO not yet reserved by senders. */
-    std::uint32_t rxFifoFree() const;
-
-    /** Reserve incoming FIFO space before launching a chunk. */
-    void rxReserve(std::uint32_t bytes);
+    // Both entry points run on *this* node's shard: peers never call
+    // them synchronously, they post events through the router.
 
     /** A chunk arrives from the backplane. */
     void rxDeliver(NodeId src, Addr dst_addr,
                    std::vector<std::uint8_t> data, bool msg_start,
                    bool msg_end, Tick sender_start);
 
-    /** Register to be poked when incoming FIFO space frees up. */
-    void addCreditWaiter(std::function<void()> fn);
+    /**
+     * A credit message from node @p dst: the receiver's DMA drained
+     * @p bytes of ours, so our send window toward it regrows.
+     */
+    void creditReturn(NodeId dst, std::uint32_t bytes);
 
   private:
     struct TxMessage
@@ -200,12 +224,19 @@ class NetworkInterface : public dma::UdmaDevice
 
     void pump();
     void rxPump();
-    void grantCredits();
 
     std::uint32_t txFifoFree() const;
 
+    /** Remaining send window toward @p dst (grown on first use). */
+    std::uint32_t &creditsFor(NodeId dst);
+
+    /** Post an event to @p dst through the router (or locally). */
+    void postToNode(NodeId dst, Tick when, const char *name,
+                    sim::EventCallback fn);
+
     sim::EventQueue &eq_;
     const sim::MachineParams &params_;
+    sim::NodeRouter *router_ = nullptr;
     NodeId node_;
     mem::PhysicalMemory &memory_;
     bus::IoBus &ioBus_;
@@ -244,13 +275,20 @@ class NetworkInterface : public dma::UdmaDevice
     std::uint32_t txFifoBytes_ = 0;
     bool pumpBusy_ = false;
     static constexpr std::uint32_t pumpChunkBytes = 256;
+    /** Sender-side credit window per destination node; starts at the
+     *  peer's FIFO size, shrinks at launch, regrows on creditReturn.
+     *  Indexed by NodeId, grown on demand. */
+    std::vector<std::uint32_t> txCredits_;
 
     // Receive state.
     std::deque<RxChunk> rxChunks_;
+    /** Incoming-FIFO occupancy. Per-destination sender windows may
+     *  transiently overcommit it when several nodes converge on one
+     *  receiver (bounded by N x niFifoBytes), like virtual-channel
+     *  buffering; the EISA drain rate, not the FIFO, is the
+     *  bottleneck either way. */
     std::uint32_t rxFifoBytes_ = 0;
-    std::uint32_t rxReserved_ = 0;
     bool rxDmaBusy_ = false;
-    std::vector<std::function<void()>> creditWaiters_;
 
     stats::Scalar sent_;
     stats::Scalar delivered_;

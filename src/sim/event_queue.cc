@@ -126,6 +126,15 @@ EventQueue::fire(const HeapEntry &e)
     fn();
 }
 
+std::pair<Tick, std::int32_t>
+EventQueue::nextEventKey()
+{
+    dropStale();
+    if (heap_.empty())
+        return {maxTick, 0};
+    return {heap_.front().when, heap_.front().prio};
+}
+
 bool
 EventQueue::step()
 {

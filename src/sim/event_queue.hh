@@ -32,6 +32,7 @@
 #ifndef SHRIMP_SIM_EVENT_QUEUE_HH
 #define SHRIMP_SIM_EVENT_QUEUE_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -122,7 +123,11 @@ class EventCallback
     }
 
     /** Process-wide count of captures too large for inline storage. */
-    static std::uint64_t heapFallbacks() { return heapFallbacks_; }
+    static std::uint64_t
+    heapFallbacks()
+    {
+        return heapFallbacks_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Ops
@@ -205,14 +210,16 @@ class EventCallback
             D *heap = new D(std::forward<F>(f));
             std::memcpy(buf_, &heap, sizeof heap);
             ops_ = &HeapOps<D>::ops;
-            ++heapFallbacks_;
+            // Relaxed: a plain counter read after the run; sharded
+            // workers bump it concurrently.
+            heapFallbacks_.fetch_add(1, std::memory_order_relaxed);
         }
     }
 
     alignas(std::max_align_t) unsigned char buf_[inlineBytes];
     const Ops *ops_ = nullptr;
 
-    inline static std::uint64_t heapFallbacks_ = 0;
+    inline static std::atomic<std::uint64_t> heapFallbacks_{0};
 };
 
 /**
@@ -284,6 +291,17 @@ class EventQueue
 
     /** True if no events remain. */
     bool empty() const { return liveEvents_ == 0; }
+
+    /**
+     * Tick of the earliest pending event (maxTick when none); drops
+     * stale cancelled entries first. The sharded engine uses this to
+     * plan conservative windows.
+     */
+    Tick nextEventTick() { return nextEventKey().first; }
+
+    /** (tick, priority) of the earliest pending event;
+     *  (maxTick, 0) when the queue is empty. */
+    std::pair<Tick, std::int32_t> nextEventKey();
 
     /** Number of pending (non-cancelled) events. */
     std::size_t pendingEvents() const { return liveEvents_; }

@@ -1,0 +1,296 @@
+#include "sim/sharded.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace shrimp::sim
+{
+
+ShardedEngine::ShardedEngine(unsigned nodes, unsigned shards,
+                             Tick lookahead)
+    : shards_(std::min(std::max(shards, 1u), std::max(nodes, 1u))),
+      lookahead_(std::max<Tick>(lookahead, 1))
+{
+    SHRIMP_ASSERT(nodes > 0, "engine needs at least one node");
+    queues_.reserve(nodes);
+    for (unsigned n = 0; n < nodes; ++n)
+        queues_.push_back(std::make_unique<EventQueue>());
+    shardNodes_.resize(shards_);
+    for (unsigned n = 0; n < nodes; ++n)
+        shardNodes_[n % shards_].push_back(n);
+    boxes_.reserve(std::size_t(shards_) * shards_);
+    for (unsigned i = 0; i < shards_ * shards_; ++i)
+        boxes_.push_back(std::make_unique<Mailbox>());
+    drainBuf_.resize(shards_);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void
+ShardedEngine::post(NodeId src, NodeId dst, Tick when, const char *name,
+                    EventCallback fn, EventPriority prio)
+{
+    SHRIMP_ASSERT(src < nodeCount() && dst < nodeCount(),
+                  "post outside the machine");
+    if (src == dst) {
+        // Self-sends never leave the shard; scheduling directly keeps
+        // them at their natural latency with no canonicality cost (a
+        // node's own queue order is shard-count independent already).
+        queues_[src]->schedule(when, name, std::move(fn), prio);
+        return;
+    }
+    SHRIMP_ASSERT(when >= queues_[src]->now() + lookahead_,
+                  "cross-node post inside the lookahead window");
+    Mailbox &mb = box(shardOf(src), shardOf(dst));
+    CrossMsg m{when, std::int32_t(prio), src, dst, name, std::move(fn)};
+    if (!mb.spill.empty() || !mb.ring.tryPush(std::move(m)))
+        mb.spill.push_back(std::move(m));
+    ++mb.posted;
+}
+
+Tick
+ShardedEngine::minNextEvent()
+{
+    Tick next = maxTick;
+    for (auto &q : queues_)
+        next = std::min(next, q->nextEventTick());
+    return next;
+}
+
+Tick
+ShardedEngine::windowEndFor(Tick start, Tick limit) const
+{
+    // Inclusive window [start, start + lookahead - 1], clamped to the
+    // run limit without overflowing near maxTick.
+    if (limit - start < lookahead_ - 1)
+        return limit;
+    return start + (lookahead_ - 1);
+}
+
+void
+ShardedEngine::drainShard(unsigned dst_shard)
+{
+    auto &batch = drainBuf_[dst_shard];
+    for (unsigned src = 0; src < shards_; ++src) {
+        Mailbox &mb = box(src, dst_shard);
+        CrossMsg m;
+        while (mb.ring.tryPop(m))
+            batch.push_back(std::move(m));
+        for (auto &spilled : mb.spill)
+            batch.push_back(std::move(spilled));
+        mb.spill.clear();
+    }
+    // Canonical delivery order: (tick, priority, source node); the
+    // stable sort preserves each source's FIFO order, so the per-queue
+    // insertion sequence — and hence the (tick, priority, sequence)
+    // execution order — does not depend on how nodes map to shards.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const CrossMsg &a, const CrossMsg &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         if (a.prio != b.prio)
+                             return a.prio < b.prio;
+                         return a.src < b.src;
+                     });
+    for (auto &m : batch) {
+        queues_[m.dst]->schedule(m.when, m.name, std::move(m.fn),
+                                 EventPriority(m.prio));
+    }
+    batch.clear();
+}
+
+void
+ShardedEngine::drainAll()
+{
+    for (unsigned s = 0; s < shards_; ++s)
+        drainShard(s);
+}
+
+void
+ShardedEngine::planWindow()
+{
+    if (ctrl_.error) {
+        ctrl_.done = true;
+        return;
+    }
+    try {
+        if (barrierHook_)
+            barrierHook_();
+        if (ctrl_.pred && (*ctrl_.pred)()) {
+            ctrl_.done = true;
+            return;
+        }
+    } catch (...) {
+        ctrl_.error = std::current_exception();
+        ctrl_.done = true;
+        return;
+    }
+    Tick next = minNextEvent();
+    if (next == maxTick || next > ctrl_.limit) {
+        ctrl_.done = true;
+        return;
+    }
+    ctrl_.windowEnd = windowEndFor(next, ctrl_.limit);
+    ++windows_;
+}
+
+void
+ShardedEngine::noteError()
+{
+    std::lock_guard<std::mutex> g(errMu_);
+    if (!ctrl_.error)
+        ctrl_.error = std::current_exception();
+}
+
+void
+ShardedEngine::workerBody(unsigned worker, unsigned workers)
+{
+    for (;;) {
+        // Completion plans the next window with every worker parked.
+        planBarrier_->arriveAndWait();
+        if (ctrl_.done)
+            return;
+        try {
+            for (unsigned s = worker; s < shards_; s += workers) {
+                for (NodeId n : shardNodes_[s])
+                    queues_[n]->run(ctrl_.windowEnd);
+            }
+        } catch (...) {
+            noteError();
+        }
+        syncBarrier_->arriveAndWait();
+        try {
+            for (unsigned s = worker; s < shards_; s += workers)
+                drainShard(s);
+        } catch (...) {
+            noteError();
+        }
+    }
+}
+
+Tick
+ShardedEngine::runWindows(const std::function<bool()> *pred, Tick limit)
+{
+    // Mailboxes may hold messages from a previous partial run (e.g. a
+    // runSetup that stopped mid-window); deliver them first so the
+    // window plan sees every pending event.
+    drainAll();
+    ctrl_ = Control{};
+    ctrl_.limit = limit;
+    ctrl_.pred = pred;
+    const unsigned workers = shards_;
+    planBarrier_ =
+        std::make_unique<SpinBarrier>(workers, [this] { planWindow(); });
+    syncBarrier_ = std::make_unique<SpinBarrier>(workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        threads.emplace_back([this, w, workers] {
+            workerBody(w, workers);
+        });
+    workerBody(0, workers);
+    for (auto &t : threads)
+        t.join();
+    planBarrier_.reset();
+    syncBarrier_.reset();
+    if (ctrl_.error)
+        std::rethrow_exception(ctrl_.error);
+    return now();
+}
+
+Tick
+ShardedEngine::run(Tick limit)
+{
+    return runWindows(nullptr, limit);
+}
+
+Tick
+ShardedEngine::runUntil(const std::function<bool()> &pred, Tick limit)
+{
+    return runWindows(&pred, limit);
+}
+
+Tick
+ShardedEngine::runSetup(const std::function<bool()> &pred, Tick limit)
+{
+    drainAll();
+    for (;;) {
+        if (barrierHook_)
+            barrierHook_();
+        if (pred())
+            break;
+        Tick next = minNextEvent();
+        if (next == maxTick || next > limit)
+            break;
+        const Tick window_end = windowEndFor(next, limit);
+        ++windows_;
+        bool stop = false;
+        for (;;) {
+            // Step the globally earliest event by (tick, priority,
+            // node) — a canonical interleaving that cannot depend on
+            // the shard count, so host-shared rendezvous state read
+            // during setup observes the same history under any
+            // --shards value.
+            EventQueue *best = nullptr;
+            std::pair<Tick, std::int32_t> best_key{maxTick, 0};
+            for (NodeId n = 0; n < nodeCount(); ++n) {
+                auto key = queues_[n]->nextEventKey();
+                if (key.first > window_end)
+                    continue;
+                if (!best || key < best_key) {
+                    best = queues_[n].get();
+                    best_key = key;
+                }
+            }
+            if (!best)
+                break;
+            best->step();
+            if (pred()) {
+                stop = true;
+                break;
+            }
+        }
+        drainAll();
+        if (stop)
+            break;
+    }
+    return now();
+}
+
+Tick
+ShardedEngine::now() const
+{
+    Tick t = 0;
+    for (const auto &q : queues_)
+        t = std::max(t, q->now());
+    return t;
+}
+
+std::uint64_t
+ShardedEngine::eventsExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues_)
+        n += q->eventsExecuted();
+    return n;
+}
+
+std::uint64_t
+ShardedEngine::pendingEvents() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues_)
+        n += q->pendingEvents();
+    return n;
+}
+
+std::uint64_t
+ShardedEngine::crossPosts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : boxes_)
+        n += b->posted;
+    return n;
+}
+
+} // namespace shrimp::sim

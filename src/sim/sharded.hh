@@ -1,0 +1,278 @@
+/**
+ * @file
+ * The sharded simulation core: one EventQueue per node, executed in
+ * conservative time windows (Chandy-Misra-style) by a pool of worker
+ * threads, one shard of nodes per worker.
+ *
+ * The synchronization horizon is the interconnect's minimum cross-node
+ * latency: any event one node schedules on another is at least
+ * `lookahead` ticks in the future (the backplane hop latency — see
+ * DESIGN.md §10 for the derivation from MachineParams). Windows are
+ * [start, start + lookahead - 1], so everything a node posts from
+ * inside a window lands strictly in a later window and nodes can
+ * execute a window's events concurrently with no intra-window
+ * communication at all.
+ *
+ * Cross-node messages travel through per-(source shard, destination
+ * shard) SPSC mailboxes, drained at the window barrier into the
+ * destination queues in a canonical order — stable-sorted by
+ * (tick, priority, source node), with the stable sort preserving each
+ * source's FIFO order. That rule makes the drained insertion order —
+ * and with it every queue's (tick, priority, sequence) execution
+ * order — independent of the shard count, which is what makes
+ * `--shards=1` and `--shards=N` bit-identical in sim time.
+ *
+ * Barriers are also where the world is quiescent, so the invariant
+ * auditor's hook and the stop predicate run in the barrier completion
+ * step, on exactly one thread, with every worker parked.
+ */
+
+#ifndef SHRIMP_SIM_SHARDED_HH
+#define SHRIMP_SIM_SHARDED_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/spsc.hh"
+#include "sim/types.hh"
+
+namespace shrimp::sim
+{
+
+/**
+ * Where a component posts an event destined for (possibly) another
+ * node. The sharded engine implements this with mailboxes; components
+ * constructed without a router fall back to scheduling on their own
+ * queue, which is exactly the legacy single-queue behaviour.
+ */
+class NodeRouter
+{
+  public:
+    virtual ~NodeRouter() = default;
+
+    /**
+     * Schedule @p fn at absolute tick @p when on node @p dst's queue.
+     * Must be called from the shard currently executing @p src, and —
+     * when src != dst — with `when >= now(src) + lookahead` so the
+     * event cannot land inside the current window.
+     */
+    virtual void post(NodeId src, NodeId dst, Tick when,
+                      const char *name, EventCallback fn,
+                      EventPriority prio) = 0;
+};
+
+/**
+ * A spinning barrier with a completion callback: the last thread to
+ * arrive runs the completion (with every other participant parked),
+ * then releases the phase. Spins briefly and falls back to
+ * atomic::wait, keeping the common microsecond-scale window
+ * turnaround off the futex path.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned parties,
+                         std::function<void()> completion = {})
+        : parties_(parties), completion_(std::move(completion))
+    {}
+
+    void
+    arriveAndWait()
+    {
+        const std::uint64_t phase =
+            phase_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1
+                == parties_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            if (completion_)
+                completion_();
+            phase_.store(phase + 1, std::memory_order_release);
+            phase_.notify_all();
+            return;
+        }
+        for (int spin = 0; spin < 4096; ++spin) {
+            if (phase_.load(std::memory_order_acquire) != phase)
+                return;
+        }
+        while (phase_.load(std::memory_order_acquire) == phase)
+            phase_.wait(phase, std::memory_order_acquire);
+    }
+
+  private:
+    const unsigned parties_;
+    std::function<void()> completion_;
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<std::uint64_t> phase_{0};
+};
+
+/**
+ * The engine: per-node queues, shard-of-nodes worker partitioning,
+ * mailboxes, and the windowed run loop.
+ *
+ * Two run modes:
+ *  - run()/runUntil(): the parallel data-phase loop. Within a window
+ *    each node's queue executes independently, so node state must not
+ *    be read across nodes except through post(). The stop predicate
+ *    is evaluated at window barriers.
+ *  - runSetup(): a sequential phase for workload setup that *does*
+ *    rendezvous through host-shared state (e.g. msg::Channel's
+ *    export/import flags). All queues are interleaved in one global
+ *    canonical (tick, priority, node) order on the calling thread, so
+ *    cross-node host reads are both race-free and shard-count
+ *    independent; the predicate is checked after every event.
+ */
+class ShardedEngine : public NodeRouter
+{
+  public:
+    ShardedEngine(unsigned nodes, unsigned shards, Tick lookahead);
+    ~ShardedEngine() override;
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    unsigned nodeCount() const { return unsigned(queues_.size()); }
+    unsigned shardCount() const { return shards_; }
+    unsigned shardOf(NodeId node) const { return node % shards_; }
+    Tick lookahead() const { return lookahead_; }
+
+    EventQueue &
+    queue(NodeId node)
+    {
+        return *queues_.at(node);
+    }
+
+    // --------------------------------------------- NodeRouter
+    void post(NodeId src, NodeId dst, Tick when, const char *name,
+              EventCallback fn, EventPriority prio) override;
+
+    // --------------------------------------------- run loop
+    /** Parallel windowed run until every queue drains or @p limit. */
+    Tick run(Tick limit = maxTick);
+
+    /**
+     * Parallel windowed run; @p pred is evaluated in the barrier
+     * completion (all workers parked) and stops the run when true.
+     */
+    Tick runUntil(const std::function<bool()> &pred,
+                  Tick limit = maxTick);
+
+    /** Sequential canonical-order run (see class comment). */
+    Tick runSetup(const std::function<bool()> &pred,
+                  Tick limit = maxTick);
+
+    /**
+     * Invoked in the barrier completion step before each window (and
+     * once before the run finishes), where every shard is quiescent:
+     * the natural audit point.
+     */
+    void setBarrierHook(std::function<void()> hook)
+    {
+        barrierHook_ = std::move(hook);
+    }
+
+    // --------------------------------------------- merged views
+    /** Max of the per-node clocks (the global sim time). */
+    Tick now() const;
+
+    /** Sum of per-queue executed-event counts. */
+    std::uint64_t eventsExecuted() const;
+
+    /** Sum of per-queue pending events (mailboxes are drained and
+     *  therefore empty whenever the engine is not running). */
+    std::uint64_t pendingEvents() const;
+
+    /** Cross-node messages routed through mailboxes. */
+    std::uint64_t crossPosts() const;
+
+    /** Conservative windows executed (both run modes). */
+    std::uint64_t windows() const { return windows_; }
+
+  private:
+    struct CrossMsg
+    {
+        Tick when = 0;
+        std::int32_t prio = 0;
+        NodeId src = 0;
+        NodeId dst = 0;
+        const char *name = nullptr;
+        EventCallback fn;
+    };
+
+    /**
+     * One (source shard -> destination shard) channel. The ring is
+     * the lock-free fast path; when it fills, the producer spills to
+     * a plain vector that the consumer only reads after a barrier
+     * (which provides the happens-before edge). `posted` is owned by
+     * the producer and summed on demand, so the cross-post counter
+     * needs no shared atomics.
+     */
+    struct Mailbox
+    {
+        SpscRing<CrossMsg> ring{1024};
+        std::vector<CrossMsg> spill;
+        std::uint64_t posted = 0;
+    };
+
+    struct Control
+    {
+        Tick limit = maxTick;
+        const std::function<bool()> *pred = nullptr;
+        Tick windowEnd = 0;
+        bool done = false;
+        std::exception_ptr error;
+    };
+
+    Mailbox &
+    box(unsigned src_shard, unsigned dst_shard)
+    {
+        return *boxes_[src_shard * shards_ + dst_shard];
+    }
+
+    /** Earliest pending event tick across all queues. */
+    Tick minNextEvent();
+
+    /** Windows are inclusive: [start, start + lookahead - 1]. */
+    Tick windowEndFor(Tick start, Tick limit) const;
+
+    /** Pop + spill-drain every mailbox bound for @p dst_shard and
+     *  schedule the messages in canonical order. */
+    void drainShard(unsigned dst_shard);
+
+    /** Sequential full drain (entry to either run mode). */
+    void drainAll();
+
+    /** Barrier completion: audit hook, predicate, next window. */
+    void planWindow();
+
+    void workerBody(unsigned worker, unsigned workers);
+    void noteError();
+
+    Tick runWindows(const std::function<bool()> *pred, Tick limit);
+
+    const unsigned shards_;
+    const Tick lookahead_;
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    /** shardNodes_[s]: the nodes shard s executes, ascending. */
+    std::vector<std::vector<NodeId>> shardNodes_;
+    std::vector<std::unique_ptr<Mailbox>> boxes_;
+    /** Per-destination-shard drain scratch (reused across windows). */
+    std::vector<std::vector<CrossMsg>> drainBuf_;
+
+    std::function<void()> barrierHook_;
+    std::uint64_t windows_ = 0;
+
+    Control ctrl_;
+    std::mutex errMu_;
+    std::unique_ptr<SpinBarrier> planBarrier_;
+    std::unique_ptr<SpinBarrier> syncBarrier_;
+};
+
+} // namespace shrimp::sim
+
+#endif // SHRIMP_SIM_SHARDED_HH

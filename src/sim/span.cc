@@ -45,6 +45,7 @@ registry()
 std::uint64_t
 Registry::open(Tick now, const std::string &owner, std::uint64_t bytes)
 {
+    std::lock_guard<std::mutex> g(mu_);
     std::uint64_t id = nextId_++;
     Span s;
     s.id = id;
@@ -62,6 +63,7 @@ void
 Registry::start(Tick now, std::uint64_t id, bool toDevice,
                 std::uint64_t bytes)
 {
+    std::lock_guard<std::mutex> g(mu_);
     auto it = active_.find(id);
     if (it == active_.end())
         return;
@@ -77,6 +79,7 @@ Registry::start(Tick now, std::uint64_t id, bool toDevice,
 void
 Registry::close(Tick now, std::uint64_t id, Outcome outcome)
 {
+    std::lock_guard<std::mutex> g(mu_);
     auto it = active_.find(id);
     if (it == active_.end())
         return;
@@ -97,6 +100,7 @@ Registry::close(Tick now, std::uint64_t id, Outcome outcome)
 const Span *
 Registry::find(std::uint64_t id) const
 {
+    std::lock_guard<std::mutex> g(mu_);
     auto it = active_.find(id);
     if (it != active_.end())
         return &it->second;
@@ -110,6 +114,7 @@ Registry::find(std::uint64_t id) const
 Summary
 Registry::summary() const
 {
+    std::lock_guard<std::mutex> g(mu_);
     Summary s = summary_;
     s.active = active_.size();
     return s;
@@ -118,6 +123,7 @@ Registry::summary() const
 void
 Registry::clear()
 {
+    std::lock_guard<std::mutex> g(mu_);
     nextId_ = 1;
     summary_ = Summary{};
     active_.clear();

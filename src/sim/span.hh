@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -108,13 +109,25 @@ class Registry
 
     Summary summary() const;
 
-    /** Closed spans, oldest first, bounded by the retain limit. */
+    /** Closed spans, oldest first, bounded by the retain limit.
+     *  Call only while no simulation is running. */
     const std::deque<Span> &retained() const { return retained_; }
 
-    std::size_t activeCount() const { return active_.size(); }
+    std::size_t
+    activeCount() const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return active_.size();
+    }
 
     /** Cap on retained closed spans (aggregates are unaffected). */
-    void setRetainLimit(std::size_t n) { retainLimit_ = n; trim(); }
+    void
+    setRetainLimit(std::size_t n)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        retainLimit_ = n;
+        trim();
+    }
 
     /** Drop all spans and aggregates (tests / between experiments). */
     void clear();
@@ -130,6 +143,14 @@ class Registry
     Registry() = default;
     void trim();
 
+    /**
+     * The registry is process-global while sharded workers open and
+     * close spans concurrently; the mutex keeps the aggregates exact.
+     * Span *ids* are still assigned in thread arrival order, so they
+     * are not part of the bit-identical determinism contract (the
+     * summary counts are).
+     */
+    mutable std::mutex mu_;
     std::uint64_t nextId_ = 1;
     Summary summary_;
     std::unordered_map<std::uint64_t, Span> active_;

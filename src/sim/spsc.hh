@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A bounded single-producer/single-consumer lock-free ring.
+ *
+ * This is the cross-shard mailbox primitive of the sharded simulation
+ * core (sim/sharded.hh): exactly one producer thread calls tryPush and
+ * exactly one consumer thread calls tryPop. Synchronization is two
+ * monotonic counters with acquire/release ordering — the producer owns
+ * tail_, the consumer owns head_, and each reads the other's counter
+ * with acquire to observe the slots it publishes/releases.
+ *
+ * Capacity is rounded up to a power of two so the index math is a
+ * mask. A full ring refuses the push (the engine spills to a plain
+ * vector that only crosses threads under a barrier).
+ */
+
+#ifndef SHRIMP_SIM_SPSC_HH
+#define SHRIMP_SIM_SPSC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace shrimp::sim
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t min_capacity)
+    {
+        SHRIMP_ASSERT(min_capacity > 0, "zero-capacity ring");
+        std::size_t cap = 1;
+        while (cap < min_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Producer side. False (and @p v untouched) when full. */
+    bool
+    tryPush(T &&v)
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_.load(std::memory_order_acquire) == slots_.size())
+            return false;
+        slots_[t & mask_] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. False when empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        if (tail_.load(std::memory_order_acquire) == h)
+            return false;
+        out = std::move(slots_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side view (racy as a predicate; exact under a
+     *  barrier, which is the only place the engine relies on it). */
+    bool
+    empty() const
+    {
+        return tail_.load(std::memory_order_acquire)
+               == head_.load(std::memory_order_acquire);
+    }
+
+    std::size_t
+    size() const
+    {
+        return tail_.load(std::memory_order_acquire)
+               - head_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    /** Consumer cursor on its own cache line. */
+    alignas(64) std::atomic<std::size_t> head_{0};
+    /** Producer cursor on its own cache line. */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace shrimp::sim
+
+#endif // SHRIMP_SIM_SPSC_HH

@@ -1,0 +1,155 @@
+#include "workload/ring.hh"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "msg/channel.hh"
+
+namespace shrimp::workload
+{
+
+namespace
+{
+
+/** FNV-1a, folding counters into the run digest. */
+struct Fnv
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+};
+
+} // namespace
+
+RingResult
+runRing(const RingConfig &cfg)
+{
+    using namespace shrimp::core;
+
+    SHRIMP_ASSERT(cfg.nodes >= 2, "ring needs >= 2 nodes");
+
+    SystemConfig scfg;
+    scfg.nodes = cfg.nodes;
+    scfg.shards = cfg.shards;
+    scfg.node.memBytes = cfg.memBytes;
+    scfg.params.quantumUs = cfg.quantumUs;
+    scfg.node.devices.push_back(DeviceConfig{});
+    System sys(scfg);
+
+    const unsigned nodes = cfg.nodes;
+    std::vector<msg::ChannelRendezvous> rv(nodes);
+    for (auto &r : rv) {
+        SHRIMP_ASSERT(cfg.recordBytes <= r.payloadCapacity(),
+                      "record larger than a channel slot");
+    }
+
+    // Host-shared, but written only under runSetup (sequential) or by
+    // exactly one node's shard (its own slot), so the data phase is
+    // race-free.
+    std::vector<Tick> started(nodes, 0);
+    std::vector<Tick> done(nodes, 0);
+    unsigned ready = 0;
+
+    for (unsigned n = 0; n < nodes; ++n) {
+        auto *me = &sys.node(n);
+        auto *right = &sys.node((n + 1) % nodes);
+
+        // Receiver half: accept from the left neighbour.
+        me->kernel().spawn(
+            "recv" + std::to_string(n),
+            [&, me, n](os::UserContext &ctx) -> sim::ProcTask {
+                NodeId left = (n + nodes - 1) % nodes;
+                msg::ReceiverChannel ch(ctx, 0, *me->ni(), left);
+                if (!co_await ch.bind(rv[left]))
+                    fatal("bind failed on node ", n);
+                ++ready;
+                for (unsigned r = 0; r < cfg.records; ++r) {
+                    std::uint32_t len = 0;
+                    (void)co_await ch.recvZeroCopy(len);
+                    co_await ch.ackLast();
+                }
+                done[n] = ctx.kernel().eq().now();
+            });
+
+        // Sender half: stream to the right neighbour.
+        me->kernel().spawn(
+            "send" + std::to_string(n),
+            [&, me, right, n](os::UserContext &ctx) -> sim::ProcTask {
+                msg::SenderChannel ch(ctx, 0, *me->ni(), right->id());
+                if (!co_await ch.connect(rv[n]))
+                    fatal("connect failed on node ", n);
+                Addr buf = co_await ctx.sysAllocMemory(cfg.recordBytes);
+                for (Addr off = 0; off < cfg.recordBytes; off += 4096)
+                    co_await ctx.store(buf + off, n);
+                ++ready;
+                started[n] = ctx.kernel().eq().now();
+                for (unsigned r = 0; r < cfg.records; ++r)
+                    co_await ch.send(buf, cfg.recordBytes);
+            });
+    }
+
+    // Phase 1: channel setup, sequential canonical order (the only
+    // phase whose events read host state across nodes).
+    sys.runSetup([&] { return ready == 2 * nodes; }, cfg.limit);
+
+    // Phase 2: the timed, parallel data phase.
+    auto wall0 = std::chrono::steady_clock::now();
+    sys.runUntilAllDone(cfg.limit);
+    sys.run(cfg.limit); // drain trailing credit/delivery events
+    auto wall1 = std::chrono::steady_clock::now();
+
+    RingResult res;
+    res.hostSec =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    res.simTicks = sys.simNow();
+    res.simEvents = sys.simEvents();
+    res.bytesRouted = sys.net().bytesRouted();
+    if (auto *eng = sys.engine()) {
+        res.crossPosts = eng->crossPosts();
+        res.windows = eng->windows();
+    }
+
+    Fnv fnv;
+    fnv.mix(res.simTicks);
+    fnv.mix(res.simEvents);
+    fnv.mix(res.bytesRouted);
+    for (unsigned n = 0; n < nodes; ++n) {
+        auto &node = sys.node(n);
+        auto *ni = node.ni();
+        res.messagesDelivered += ni->messagesDelivered();
+        res.bytesDelivered += ni->bytesDelivered();
+        res.contextSwitches += node.kernel().contextSwitches();
+
+        fnv.mix(started[n]);
+        fnv.mix(done[n]);
+        fnv.mix(ni->messagesSent());
+        fnv.mix(ni->messagesDelivered());
+        fnv.mix(ni->bytesDelivered());
+        fnv.mix(ni->lastDeliveryTick());
+        fnv.mix(node.kernel().contextSwitches());
+    }
+    res.digest = fnv.h;
+
+    for (unsigned n = 0; n < nodes; ++n) {
+        unsigned left = (n + nodes - 1) % nodes;
+        Tick dt = done[n] > started[left] ? done[n] - started[left]
+                                          : 0;
+        if (dt == 0)
+            continue;
+        double us = ticksToUs(dt);
+        res.aggregateMbS += cfg.records * double(cfg.recordBytes)
+                            / us * 1e6 / (1 << 20);
+    }
+    return res;
+}
+
+} // namespace shrimp::workload

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The multi-node ring-traffic workload behind bench/multinode_traffic
+ * and the shard-determinism tests: N nodes in a ring, every node
+ * simultaneously streaming fixed-size records to its right neighbour
+ * through a user-level msg::Channel (deliberate-update payloads,
+ * automatic-update credits), generalizing the paper's four-processor
+ * prototype run to any node count.
+ *
+ * The run has two phases. Channel setup rendezvouses through
+ * host-shared ChannelRendezvous objects, so it executes under
+ * System::runSetup — sequential, in the canonical global event order,
+ * identical for any shard count. The data phase that follows is
+ * entirely node-local plus NI traffic, so it runs under the parallel
+ * engine (or the legacy queue) and is the part the caller times.
+ *
+ * RingResult::digest folds every per-node counter into one FNV-1a
+ * value, so "bit-identical across shard counts" is one integer
+ * comparison.
+ */
+
+#ifndef SHRIMP_WORKLOAD_RING_HH
+#define SHRIMP_WORKLOAD_RING_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace shrimp::workload
+{
+
+/** One ring-traffic experiment. */
+struct RingConfig
+{
+    unsigned nodes = 4;
+    unsigned records = 64;
+    /** Per-record payload; must fit one channel slot (<= 4080). */
+    std::uint32_t recordBytes = 4080;
+    /** SystemConfig::shards: 0 = legacy shared event queue. */
+    unsigned shards = 0;
+    /** Fine quantum so each node's sender/receiver pair pipelines. */
+    double quantumUs = 200.0;
+    std::uint64_t memBytes = std::uint64_t(8) << 20;
+    Tick limit = Tick(300) * tickSec;
+};
+
+/** What one run produced (simulated time plus host wall time). */
+struct RingResult
+{
+    // --- simulated-time outputs: must be bit-identical across
+    //     shard counts for the same config.
+    Tick simTicks = 0;
+    std::uint64_t simEvents = 0;
+    std::uint64_t bytesRouted = 0;
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t bytesDelivered = 0;
+    std::uint64_t contextSwitches = 0;
+    /** FNV-1a over every per-node counter and the totals above. */
+    std::uint64_t digest = 0;
+    double aggregateMbS = 0;
+
+    // --- host-side outputs: vary run to run.
+    /** Wall seconds spent in the timed data phase. */
+    double hostSec = 0;
+
+    // --- sharded-engine introspection (0 in legacy mode).
+    std::uint64_t crossPosts = 0;
+    std::uint64_t windows = 0;
+};
+
+/** Build the system, run both phases, and report. */
+RingResult runRing(const RingConfig &cfg);
+
+} // namespace shrimp::workload
+
+#endif // SHRIMP_WORKLOAD_RING_HH

@@ -13,6 +13,9 @@
 #   SHRIMP_SKIP_SELFPERF=1       skip the self-perf smoke (e.g. on a
 #                                loaded CI box where wall-clock
 #                                numbers are meaningless)
+#   SHRIMP_SKIP_TSAN=1           skip the ThreadSanitizer suite
+#   SHRIMP_SKIP_MULTINODE=1      skip the sharded determinism +
+#                                speedup gate
 
 set -euo pipefail
 
@@ -92,6 +95,25 @@ echo "== ctest (sanitized) =="
 (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
 
 echo
+echo "== TSan: SPSC mailbox stress + sharded engine + determinism =="
+if [ "${SHRIMP_SKIP_TSAN:-0}" = "1" ]; then
+    echo "SHRIMP_SKIP_TSAN=1; skipping"
+else
+    tsan_dir="${build_dir}-tsan"
+    cmake -B "${tsan_dir}" -S "${repo_root}" \
+        -DSHRIMP_SANITIZE=thread \
+        -DSHRIMP_WERROR=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    cmake --build "${tsan_dir}" -j "$(nproc)" \
+        --target test_sim test_integration > /dev/null
+    # The worker threads, barriers, and cross-shard mailboxes are the
+    # only concurrency in the simulator; these filters cover all of it.
+    "${tsan_dir}/tests/test_sim" --gtest_filter='Spsc*:Sharded*'
+    "${tsan_dir}/tests/test_integration" \
+        --gtest_filter='ShardDeterminism*'
+fi
+
+echo
 echo "== self-perf smoke (Release, vs committed BENCH_selfperf.json) =="
 if [ "${SHRIMP_SKIP_SELFPERF:-0}" = "1" ]; then
     echo "SHRIMP_SKIP_SELFPERF=1; skipping"
@@ -107,6 +129,27 @@ else
     "${perf_dir}/bench/selfperf_events" \
         --stats-json="${perf_dir}/BENCH_selfperf.json" \
         --check-against="${repo_root}/BENCH_selfperf.json" \
+        --tolerance=0.20
+fi
+
+echo
+echo "== multinode gate (Release, vs committed BENCH_multinode.json) =="
+if [ "${SHRIMP_SKIP_MULTINODE:-0}" = "1" ]; then
+    echo "SHRIMP_SKIP_MULTINODE=1; skipping"
+else
+    perf_dir="${build_dir}-selfperf"
+    cmake -B "${perf_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release > /dev/null
+    cmake --build "${perf_dir}" -j "$(nproc)" \
+        --target multinode_traffic > /dev/null
+    # Runs the 16-node ring on 1 shard and 4 shards: exits 1 if the
+    # two runs are not bit-identical, if the simulated-time metrics
+    # drift from the committed baseline, or (on hosts with >= 4
+    # hardware threads) if the parallel speedup falls below 2x - 20%.
+    "${perf_dir}/bench/multinode_traffic" \
+        --nodes=16 --shards=4 \
+        --stats-json="${perf_dir}/BENCH_multinode.json" \
+        --check-against="${repo_root}/BENCH_multinode.json" \
         --tolerance=0.20
 fi
 
