@@ -17,6 +17,13 @@
  * match the committed baseline exactly (they are deterministic), and
  * on hosts with >= 4 hardware threads the sharded speedup must clear
  * the 2x floor — the CI gate in tools/run_checks.sh.
+ *
+ * With --faults=<spec> (e.g. drop=0.05,corrupt=0.02) the same ring
+ * runs over an unreliable backplane and becomes a goodput-under-loss
+ * experiment: an in-process fault-free reference run must agree on
+ * the payload data digest and delivery counts (every record delivered
+ * exactly once despite drops/corruption), and the report grows
+ * goodput, retransmit, and per-fault-kind metrics (EXPERIMENTS.md).
  */
 
 #include <cstdio>
@@ -95,8 +102,21 @@ main(int argc, char **argv)
             cfg.records =
                 unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
         } else if (arg.rfind("--record-bytes=", 0) == 0) {
-            cfg.recordBytes = std::uint32_t(
-                std::strtoul(arg.c_str() + 15, nullptr, 10));
+            // Parse wide and range-check before narrowing: a value
+            // past 2^32 must be rejected, not silently truncated into
+            // a small (and wrong) record size.
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(arg.c_str() + 15, &end, 10);
+            if (end == arg.c_str() + 15 || *end != '\0' || v == 0
+                || v > 4080) {
+                std::fprintf(stderr,
+                             "--record-bytes: want 1..4080 (one "
+                             "channel slot), got '%s'\n",
+                             arg.c_str() + 15);
+                return 2;
+            }
+            cfg.recordBytes = std::uint32_t(v);
         } else if (arg.rfind("--check-against=", 0) == 0) {
             check_against = arg.substr(16);
         } else if (arg.rfind("--tolerance=", 0) == 0) {
@@ -117,16 +137,31 @@ main(int argc, char **argv)
     const unsigned shards = resolveShards(opts, cfg.nodes);
     const unsigned host_cores = std::thread::hardware_concurrency();
 
+    // Faults ride in from --faults= (parseRunOptions): the same spec
+    // is applied to every timed run below, while the goodput
+    // reference run further down explicitly clears it.
+    cfg.faults = opts.faults;
+    const bool faulty =
+        opts.faults.specified && opts.faults.anyActive();
+
     bench::BenchReport report("multinode_traffic", opts);
     report.setParam("nodes", double(cfg.nodes));
     report.setParam("records", double(cfg.records));
     report.setParam("record_bytes", double(cfg.recordBytes));
     report.setParam("shards", double(shards));
     report.setParam("host_cores", double(host_cores));
+    report.setParam("faulty", faulty ? 1 : 0);
 
     std::printf("# %u-node ring, %u x %u B per link, user-level "
                 "channels\n",
                 cfg.nodes, cfg.records, cfg.recordBytes);
+    if (faulty) {
+        std::printf("# unreliable backplane: drop=%.3f corrupt=%.3f "
+                    "dup=%.3f delay=%.3f (seed %llu)\n",
+                    cfg.faults.dropProb, cfg.faults.corruptProb,
+                    cfg.faults.dupProb, cfg.faults.delayProb,
+                    (unsigned long long)cfg.faults.seed);
+    }
 
     workload::RingResult result;
     double speedup = 0;
@@ -151,7 +186,10 @@ main(int argc, char **argv)
                     && r1.simTicks == result.simTicks
                     && r1.simEvents == result.simEvents
                     && r1.bytesRouted == result.bytesRouted
-                    && r1.bytesDelivered == result.bytesDelivered;
+                    && r1.bytesDelivered == result.bytesDelivered
+                    && r1.retransmits == result.retransmits
+                    && r1.timeouts == result.timeouts
+                    && r1.dataDigest == result.dataDigest;
         if (!identical) {
             std::fprintf(
                 stderr,
@@ -161,7 +199,10 @@ main(int argc, char **argv)
                 "  sim_ticks     %llu vs %llu\n"
                 "  sim_events    %llu vs %llu\n"
                 "  bytes_routed  %llu vs %llu\n"
-                "  bytes_deliv   %llu vs %llu\n",
+                "  bytes_deliv   %llu vs %llu\n"
+                "  retransmits   %llu vs %llu\n"
+                "  timeouts      %llu vs %llu\n"
+                "  data_digest   %016llx vs %016llx\n",
                 shards, (unsigned long long)r1.digest,
                 (unsigned long long)result.digest,
                 (unsigned long long)r1.simTicks,
@@ -171,7 +212,13 @@ main(int argc, char **argv)
                 (unsigned long long)r1.bytesRouted,
                 (unsigned long long)result.bytesRouted,
                 (unsigned long long)r1.bytesDelivered,
-                (unsigned long long)result.bytesDelivered);
+                (unsigned long long)result.bytesDelivered,
+                (unsigned long long)r1.retransmits,
+                (unsigned long long)result.retransmits,
+                (unsigned long long)r1.timeouts,
+                (unsigned long long)result.timeouts,
+                (unsigned long long)r1.dataDigest,
+                (unsigned long long)result.dataDigest);
             return 1;
         }
         std::printf("determinism: shards=1 and shards=%u bit-identical "
@@ -198,10 +245,87 @@ main(int argc, char **argv)
     std::printf("# Each link runs near the single-link EISA-bound "
                 "rate: the backplane is not the bottleneck.\n");
 
+    if (faulty) {
+        // Goodput under loss: re-run the identical configuration on a
+        // healthy backplane and demand the faulty run delivered the
+        // exact same bytes, exactly once.
+        workload::RingConfig clean = cfg;
+        clean.faults = net::FaultConfig{}; // runRing marks it specified
+        clean.shards = shards > 0 ? shards : 0;
+        workload::RingResult ref = workload::runRing(clean);
+        printRun("fault-free:", ref);
+
+        bool recovered = result.dataDigest == ref.dataDigest
+                         && result.messagesDelivered
+                                == ref.messagesDelivered
+                         && result.bytesDelivered == ref.bytesDelivered
+                         && result.nodesDone == cfg.nodes
+                         && result.chunksUnacked == 0;
+        if (!recovered) {
+            std::fprintf(
+                stderr,
+                "LOSS RECOVERY FAILURE: faulty run did not deliver "
+                "every record exactly once:\n"
+                "  data_digest   %016llx vs fault-free %016llx\n"
+                "  msgs_deliv    %llu vs %llu\n"
+                "  bytes_deliv   %llu vs %llu\n"
+                "  nodes_done    %u of %u\n"
+                "  chunks_unacked %llu\n",
+                (unsigned long long)result.dataDigest,
+                (unsigned long long)ref.dataDigest,
+                (unsigned long long)result.messagesDelivered,
+                (unsigned long long)ref.messagesDelivered,
+                (unsigned long long)result.bytesDelivered,
+                (unsigned long long)ref.bytesDelivered,
+                result.nodesDone, cfg.nodes,
+                (unsigned long long)result.chunksUnacked);
+            for (const auto &f : result.lostFlows)
+                std::fprintf(stderr, "  lost: %s\n", f.c_str());
+            return 1;
+        }
+        double ratio = ref.aggregateMbS > 0
+                           ? result.aggregateMbS / ref.aggregateMbS
+                           : 0;
+        std::printf(
+            "loss recovery: all records delivered exactly once "
+            "(data digest %016llx)\n",
+            (unsigned long long)result.dataDigest);
+        std::printf(
+            "goodput under loss: %.2f MB/s vs %.2f MB/s fault-free "
+            "(%.1f%%), %llu retransmits over %llu timeouts; links "
+            "dropped %llu, corrupted %llu, duplicated %llu, delayed "
+            "%llu\n",
+            result.aggregateMbS, ref.aggregateMbS, ratio * 100,
+            (unsigned long long)result.retransmits,
+            (unsigned long long)result.timeouts,
+            (unsigned long long)result.faults.dropped,
+            (unsigned long long)result.faults.corrupted,
+            (unsigned long long)result.faults.duplicated,
+            (unsigned long long)result.faults.delayed);
+        report.addMetric("goodput_mb_s", result.aggregateMbS);
+        report.addMetric("goodput_fault_free_mb_s", ref.aggregateMbS);
+        report.addMetric("goodput_ratio", ratio);
+        report.addMetric("retransmits", double(result.retransmits));
+        report.addMetric("timeouts", double(result.timeouts));
+        report.addMetric("fault_dropped", double(result.faults.dropped));
+        report.addMetric("fault_corrupted",
+                         double(result.faults.corrupted));
+        report.addMetric("fault_duplicated",
+                         double(result.faults.duplicated));
+        report.addMetric("fault_delayed", double(result.faults.delayed));
+        report.addMetric("rx_dup_dropped", double(result.rxDupDropped));
+        report.addMetric("rx_corrupt_dropped",
+                         double(result.rxCorruptDropped));
+        report.addMetric("rx_ooo_dropped", double(result.rxOooDropped));
+    }
+
     char digest_hex[20];
     std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
                   (unsigned long long)result.digest);
     report.setParam("digest", std::string(digest_hex));
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  (unsigned long long)result.dataDigest);
+    report.setParam("data_digest", std::string(digest_hex));
     report.addMetric("aggregate_mb_s", result.aggregateMbS);
     report.addMetric("sim_ticks", double(result.simTicks));
     report.addMetric("sim_events", double(result.simEvents));

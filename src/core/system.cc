@@ -25,6 +25,12 @@ namespace
 std::string g_pendingAuditSpec;
 
 /**
+ * Fault spec from `--faults=` awaiting the next System construction
+ * (same pattern as the audit spec above).
+ */
+std::string g_pendingFaultSpec;
+
+/**
  * Honour SHRIMP_TRACE=dma,vm,os,ni,bus,xfer (or "all"): enable those
  * trace categories on stderr. Lets every example and bench be traced
  * without recompilation.
@@ -37,7 +43,8 @@ applyTraceEnv()
         return;
     if (!trace::applySpec(env, &std::cerr))
         std::cerr << "SHRIMP_TRACE: unknown category in '" << env
-                  << "' (want dma,vm,os,ni,bus,xfer or all)\n";
+                  << "' (want dma,vm,os,ni,bus,xfer,net.fault or "
+                     "all)\n";
 }
 
 } // namespace
@@ -185,6 +192,19 @@ System::System(const SystemConfig &cfg)
         nodes_.push_back(
             std::make_unique<Node>(*this, i, cfg_, nodeEq(i)));
 
+    // Fault injection: a deliberately filled SystemConfig::faults
+    // wins; otherwise SHRIMP_FAULTS wins over a --faults= seen by
+    // parseRunOptions (mirroring the audit precedence below).
+    net::FaultConfig fcfg = cfg_.faults;
+    if (!fcfg.specified) {
+        const char *fenv = std::getenv("SHRIMP_FAULTS");
+        std::string fspec = fenv && *fenv ? fenv : g_pendingFaultSpec;
+        if (!fspec.empty())
+            net::parseFaultSpec(fspec, fcfg, &std::cerr);
+    }
+    if (fcfg.specified)
+        net_.setFaults(fcfg);
+
     // SHRIMP_AUDIT wins over a --audit= seen by parseRunOptions.
     const char *env = std::getenv("SHRIMP_AUDIT");
     std::string spec = env && *env ? env : g_pendingAuditSpec;
@@ -237,6 +257,15 @@ System::dumpStats(std::ostream &os)
     os << "sim.ticks " << simNow() << "\n";
     os << "sim.events " << simEvents() << "\n";
     os << "net.bytesRouted " << net_.bytesRouted() << "\n";
+    {
+        net::FaultCounters f = net_.faults().totals();
+        os << "net.fault.decisions " << f.decisions << "\n";
+        os << "net.fault.dropped " << f.dropped << "\n";
+        os << "net.fault.corrupted " << f.corrupted << "\n";
+        os << "net.fault.duplicated " << f.duplicated << "\n";
+        os << "net.fault.delayed " << f.delayed << "\n";
+        os << "net.fault.downDropped " << f.downDropped << "\n";
+    }
     for (auto &np : nodes_) {
         Node &n = *np;
         std::string p = "node" + std::to_string(n.id()) + ".";
@@ -272,6 +301,18 @@ System::dumpStatsJson(std::ostream &os)
     w.key("net");
     w.beginObject();
     w.field("bytesRouted", net_.bytesRouted());
+    {
+        net::FaultCounters f = net_.faults().totals();
+        w.key("fault");
+        w.beginObject();
+        w.field("decisions", f.decisions);
+        w.field("dropped", f.dropped);
+        w.field("corrupted", f.corrupted);
+        w.field("duplicated", f.duplicated);
+        w.field("delayed", f.delayed);
+        w.field("downDropped", f.downDropped);
+        w.endObject();
+    }
     w.endObject();
     w.key("nodes");
     w.beginArray();
@@ -328,8 +369,18 @@ parseRunOptions(int &argc, char **argv)
             if (!trace::applySpec(opts.traceSpec, &std::cerr)) {
                 std::cerr << "--trace: unknown category in '"
                           << opts.traceSpec
-                          << "' (want dma,vm,os,ni,bus,xfer or all)\n";
+                          << "' (want dma,vm,os,ni,bus,xfer,net.fault "
+                             "or all)\n";
                 opts.ok = false;
+            }
+            continue;
+        }
+        if (arg.rfind("--faults=", 0) == 0) {
+            std::string spec = arg.substr(std::strlen("--faults="));
+            if (!net::parseFaultSpec(spec, opts.faults, &std::cerr)) {
+                opts.ok = false;
+            } else {
+                g_pendingFaultSpec = spec;
             }
             continue;
         }

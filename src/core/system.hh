@@ -105,6 +105,14 @@ struct SystemConfig
     unsigned shards = 0;
     sim::MachineParams params;
     NodeConfig node;
+    /**
+     * Backplane fault injection (shrimp/fault.hh). When
+     * faults.specified is false the System falls back to the
+     * SHRIMP_FAULTS environment variable or a `--faults=` spec seen
+     * by parseRunOptions; a deliberately filled config (specified ==
+     * true, even "off") wins over both.
+     */
+    net::FaultConfig faults;
 };
 
 class System;
@@ -295,7 +303,8 @@ class System
 /**
  * Options shared by every example and bench main: `--stats-json=<path>`
  * selects a machine-readable result file and `--trace=<cats>` enables
- * trace categories ("dma,vm,os,ni,bus,xfer" or "all") on stderr.
+ * trace categories ("dma,vm,os,ni,bus,xfer,net.fault" or "all") on
+ * stderr.
  */
 struct RunOptions
 {
@@ -304,19 +313,21 @@ struct RunOptions
     std::string auditSpec;     ///< empty: invariant auditing off
     unsigned shards = 0;       ///< `--shards=N` (0: legacy queue)
     bool shardsAuto = false;   ///< `--shards=auto` was given
+    net::FaultConfig faults;   ///< `--faults=<spec>` (shrimp/fault.hh)
     bool ok = true;            ///< false: a malformed option was seen
 };
 
 /**
  * Parse and strip `--stats-json=` / `--trace=` / `--audit=` /
- * `--shards=` from argv (compacting argc/argv in place so
- * argument-consuming frameworks never see them); a `--trace=` spec is
- * applied immediately and an `--audit=` spec (`every-event`,
- * `on-switch` or `at-barrier`) is applied to the next System
- * constructed in this process. `--shards=N|auto` is reported in
- * RunOptions for the caller to place into SystemConfig::shards
- * (resolveShards maps `auto` to the host's core count). Other
- * arguments are left untouched.
+ * `--shards=` / `--faults=` from argv (compacting argc/argv in place
+ * so argument-consuming frameworks never see them); a `--trace=` spec
+ * is applied immediately, and an `--audit=` spec (`every-event`,
+ * `on-switch` or `at-barrier`) or a `--faults=` spec
+ * (`drop=0.05,corrupt=0.02,...`, see parseFaultSpec) is applied to
+ * the next System constructed in this process. `--shards=N|auto` is
+ * reported in RunOptions for the caller to place into
+ * SystemConfig::shards (resolveShards maps `auto` to the host's core
+ * count). Other arguments are left untouched.
  */
 RunOptions parseRunOptions(int &argc, char **argv);
 

@@ -1,0 +1,258 @@
+#include "shrimp/fault.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace shrimp::net
+{
+
+namespace
+{
+
+bool
+parseProb(const std::string &v, double &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    double d = std::strtod(v.c_str(), &end);
+    if (errno != 0 || end != v.c_str() + v.size())
+        return false;
+    if (d < 0.0 || d > 1.0)
+        return false;
+    out = d;
+    return true;
+}
+
+bool
+parseU64(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (errno != 0 || end != v.c_str() + v.size())
+        return false;
+    out = n;
+    return true;
+}
+
+bool
+parsePositive(const std::string &v, double &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    double d = std::strtod(v.c_str(), &end);
+    if (errno != 0 || end != v.c_str() + v.size() || d < 0.0)
+        return false;
+    out = d;
+    return true;
+}
+
+/** "S-D@F-T": link S->D, window [F us, T us]. */
+bool
+parseWindow(const std::string &v, LinkWindow &out)
+{
+    auto dash = v.find('-');
+    auto at = v.find('@');
+    if (dash == std::string::npos || at == std::string::npos
+        || dash > at)
+        return false;
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!parseU64(v.substr(0, dash), src)
+        || !parseU64(v.substr(dash + 1, at - dash - 1), dst))
+        return false;
+    std::string range = v.substr(at + 1);
+    auto rdash = range.find('-');
+    if (rdash == std::string::npos)
+        return false;
+    double from_us = 0;
+    double to_us = 0;
+    if (!parsePositive(range.substr(0, rdash), from_us)
+        || !parsePositive(range.substr(rdash + 1), to_us)
+        || to_us < from_us)
+        return false;
+    out.src = NodeId(src);
+    out.dst = NodeId(dst);
+    out.from = Tick(from_us * tickUs);
+    out.to = Tick(to_us * tickUs);
+    return true;
+}
+
+} // namespace
+
+bool
+parseFaultSpec(const std::string &spec, FaultConfig &out,
+               std::ostream *err)
+{
+    FaultConfig cfg;
+    cfg.specified = true;
+
+    auto fail = [&](const std::string &tok) {
+        if (err) {
+            *err << "--faults: bad token '" << tok
+                 << "' (want drop=P, corrupt=P, dup=P, delay=P, "
+                    "delay-us=N, degrade-drop=P, seed=N, "
+                    "down=S-D@F-T, degrade=S-D@F-T, no-retransmit "
+                    "or off)\n";
+        }
+        return false;
+    };
+
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        auto comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "off")
+            continue;
+        if (tok == "no-retransmit") {
+            cfg.disableRetransmit = true;
+            continue;
+        }
+        auto eq = tok.find('=');
+        if (eq == std::string::npos)
+            return fail(tok);
+        std::string key = tok.substr(0, eq);
+        std::string val = tok.substr(eq + 1);
+        bool ok = false;
+        if (key == "drop") {
+            ok = parseProb(val, cfg.dropProb);
+        } else if (key == "corrupt") {
+            ok = parseProb(val, cfg.corruptProb);
+        } else if (key == "dup") {
+            ok = parseProb(val, cfg.dupProb);
+        } else if (key == "delay") {
+            ok = parseProb(val, cfg.delayProb);
+        } else if (key == "delay-us") {
+            ok = parsePositive(val, cfg.delayUs);
+        } else if (key == "degrade-drop") {
+            ok = parseProb(val, cfg.degradedDropProb);
+        } else if (key == "seed") {
+            ok = parseU64(val, cfg.seed);
+        } else if (key == "down") {
+            LinkWindow w;
+            ok = parseWindow(val, w);
+            if (ok)
+                cfg.downWindows.push_back(w);
+        } else if (key == "degrade") {
+            LinkWindow w;
+            ok = parseWindow(val, w);
+            if (ok)
+                cfg.degradedWindows.push_back(w);
+        }
+        if (!ok)
+            return fail(tok);
+    }
+    if (cfg.dropProb + cfg.corruptProb + cfg.dupProb + cfg.delayProb
+        > 1.0) {
+        if (err)
+            *err << "--faults: drop+corrupt+dup+delay must be <= 1\n";
+        return false;
+    }
+    out = cfg;
+    return true;
+}
+
+sim::Random &
+FaultModel::streamFor(NodeId src, NodeId dst)
+{
+    SHRIMP_ASSERT(src < perSrc_.size() && perSrc_[src],
+                  "fault stream for unattached node ", src);
+    PerSrc &s = *perSrc_[src];
+    if (dst >= s.perDst.size()) {
+        s.perDst.resize(dst + 1, sim::Random(0));
+        s.seeded.resize(dst + 1, false);
+    }
+    if (!s.seeded[dst]) {
+        // SplitMix the (seed, src, dst) triple into one stream seed so
+        // every ordered link pair draws independently.
+        std::uint64_t z = cfg_.seed;
+        z ^= (std::uint64_t(src) + 1) * 0x9E3779B97F4A7C15ull;
+        z ^= (std::uint64_t(dst) + 1) * 0xBF58476D1CE4E5B9ull;
+        s.perDst[dst] = sim::Random(z);
+        s.seeded[dst] = true;
+    }
+    return s.perDst[dst];
+}
+
+bool
+FaultModel::inWindow(const std::vector<LinkWindow> &ws, NodeId src,
+                     NodeId dst, Tick now) const
+{
+    for (const LinkWindow &w : ws) {
+        if (w.src == src && w.dst == dst && now >= w.from
+            && now <= w.to)
+            return true;
+    }
+    return false;
+}
+
+FaultDecision
+FaultModel::decide(NodeId src, NodeId dst, Tick now, bool control)
+{
+    FaultDecision d;
+    if (!active_ || src == dst)
+        return d;
+
+    PerSrc &s = *perSrc_[src];
+    ++s.counters.decisions;
+
+    if (inWindow(cfg_.downWindows, src, dst, now)) {
+        ++s.counters.downDropped;
+        d.action = FaultAction::Drop;
+        return d;
+    }
+
+    double drop = cfg_.dropProb;
+    if (inWindow(cfg_.degradedWindows, src, dst, now))
+        drop = std::min(1.0, drop + cfg_.degradedDropProb);
+
+    sim::Random &r = streamFor(src, dst);
+    double u = r.unit();
+    if (control) {
+        // Acks: Corrupt would be detected and discarded (== Drop) and
+        // Duplicate is idempotent, so only Drop and Delay matter.
+        if (u < drop) {
+            ++s.counters.dropped;
+            d.action = FaultAction::Drop;
+        } else if (u < drop + cfg_.delayProb) {
+            ++s.counters.delayed;
+            d.action = FaultAction::Delay;
+            d.extraDelay = Tick(cfg_.delayUs * tickUs);
+        }
+        return d;
+    }
+    if (u < drop) {
+        ++s.counters.dropped;
+        d.action = FaultAction::Drop;
+    } else if (u < drop + cfg_.corruptProb) {
+        ++s.counters.corrupted;
+        d.action = FaultAction::Corrupt;
+        d.aux = r.next();
+    } else if (u < drop + cfg_.corruptProb + cfg_.dupProb) {
+        ++s.counters.duplicated;
+        d.action = FaultAction::Duplicate;
+    } else if (u < drop + cfg_.corruptProb + cfg_.dupProb
+                       + cfg_.delayProb) {
+        ++s.counters.delayed;
+        d.action = FaultAction::Delay;
+        d.extraDelay = Tick(cfg_.delayUs * tickUs);
+    }
+    return d;
+}
+
+} // namespace shrimp::net

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "shrimp/fault.hh"
 #include "sim/event_queue.hh"
 #include "sim/params.hh"
 #include "sim/types.hh"
@@ -52,6 +53,7 @@ class Interconnect
     {
         SHRIMP_ASSERT(ni, "null NI");
         grow(node);
+        faults_.grow(node);
         SHRIMP_ASSERT(!nis_[node], "node already attached");
         nis_[node] = ni;
     }
@@ -97,6 +99,16 @@ class Interconnect
     /** Routing latency from injection to ejection. */
     Tick hopLatency() const { return params_.linkLatency(); }
 
+    /**
+     * Install a fault configuration (single-threaded, before the
+     * run). The per-source slots were sized during attach.
+     */
+    void setFaults(const FaultConfig &cfg) { faults_.configure(cfg); }
+
+    /** The per-link fault model (NIs consult it on every launch). */
+    FaultModel &faults() { return faults_; }
+    const FaultModel &faults() const { return faults_; }
+
     /** Total bytes injected, merged over the per-source counters.
      *  Exact when the shards are quiescent (barriers / post-run). */
     std::uint64_t
@@ -125,6 +137,7 @@ class Interconnect
     std::vector<Tick> linkFreeAt_;
     /** Per-source injected bytes (shard-local, merged on read). */
     std::vector<std::uint64_t> linkBytes_;
+    FaultModel faults_;
 };
 
 } // namespace shrimp::net

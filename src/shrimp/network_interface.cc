@@ -9,6 +9,45 @@
 namespace shrimp::net
 {
 
+namespace
+{
+
+constexpr std::uint64_t fnvBasis = 14695981039346656037ull;
+constexpr std::uint64_t fnvPrime = 1099511628211ull;
+
+inline void
+fnvByte(std::uint64_t &h, std::uint8_t b)
+{
+    h ^= b;
+    h *= fnvPrime;
+}
+
+inline void
+fnvU64(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        fnvByte(h, std::uint8_t(v >> (8 * i)));
+}
+
+} // namespace
+
+std::uint64_t
+chunkChecksum(NodeId src, std::uint64_t seq, Addr dst_addr,
+              bool msg_start, bool msg_end, const std::uint8_t *data,
+              std::size_t len)
+{
+    std::uint64_t h = fnvBasis;
+    fnvU64(h, src);
+    fnvU64(h, seq);
+    fnvU64(h, dst_addr);
+    fnvByte(h, msg_start ? 1 : 0);
+    fnvByte(h, msg_end ? 1 : 0);
+    fnvU64(h, len);
+    for (std::size_t i = 0; i < len; ++i)
+        fnvByte(h, data[i]);
+    return h;
+}
+
 NetworkInterface::NetworkInterface(sim::EventQueue &eq,
                                    const sim::MachineParams &params,
                                    NodeId node,
@@ -30,6 +69,18 @@ NetworkInterface::NetworkInterface(sim::EventQueue &eq,
                          "automatic-update packets sent");
     statGroup_.addScalar("autoUpdatesCombined", &autoCombined_,
                          "stores merged by update combining");
+    statGroup_.addScalar("retransmits", &retransmits_,
+                         "chunks re-sent by the go-back-N path");
+    statGroup_.addScalar("timeouts", &timeouts_,
+                         "retransmit-timer expiries");
+    statGroup_.addScalar("acksSent", &acksSent_,
+                         "cumulative acknowledgments sent");
+    statGroup_.addScalar("rxDupDropped", &rxDupDropped_,
+                         "duplicate chunks discarded at the receiver");
+    statGroup_.addScalar("rxCorruptDropped", &rxCorruptDropped_,
+                         "checksum-mismatch chunks discarded");
+    statGroup_.addScalar("rxOooDropped", &rxOooDropped_,
+                         "chunks discarded past a sequence gap");
     statGroup_.addHistogram("delivery_us", &deliveryUs_,
                             "sender start to last byte visible (us)");
 }
@@ -208,6 +259,11 @@ NetworkInterface::flushAutoUpdates()
     msg.pushed = msg.total;
     msg.startTick = eq_.now();
     msg.data = std::move(pendingAuto_.data);
+    // Control packets enter unconditionally, even into a near-full
+    // FIFO: they are tiny, the channel-layer credit protocol bounds
+    // how many can be outstanding, and snoopStore reuses pendingAuto_
+    // immediately after this call, so deferring would lose them. The
+    // engine's data path is the one throttled by pushCapacity().
     txFifoBytes_ += msg.total;
     txq_.push_back(std::move(msg));
     pendingAuto_ = PendingAuto();
@@ -235,7 +291,14 @@ NetworkInterface::devicePush(Addr dev_offset, const std::uint8_t *data,
     SHRIMP_ASSERT(engineMsg_, "push with no open message");
     TxMessage &msg = *engineMsg_;
     SHRIMP_ASSERT(msg.pushed + len <= msg.total, "push overflow");
-    SHRIMP_ASSERT(len <= txFifoFree(), "outgoing FIFO overflow");
+    // This burst's capacity was granted at pushCapacity() time, one
+    // bus-burst latency ago; an automatic-update packet may have
+    // claimed FIFO space in that window (it can happen whenever the
+    // FIFO runs near-full, e.g. a flow-credit stall on a faulty
+    // backplane). Real hardware would have wait-stated the burst's
+    // words into the draining FIFO, so accept the transient
+    // overshoot: txFifoFree() clamps at zero and keeps the *next*
+    // capacity grant honest.
     msg.data.insert(msg.data.end(), data, data + len);
     msg.pushed += len;
     txFifoBytes_ += len;
@@ -292,12 +355,26 @@ NetworkInterface::allowProxyMap(std::uint64_t first_page,
 // Packet pump: outgoing FIFO -> backplane (cut-through)
 // --------------------------------------------------------------------
 
-std::uint32_t &
-NetworkInterface::creditsFor(NodeId dst)
+NetworkInterface::TxFlow &
+NetworkInterface::flowFor(NodeId dst)
 {
-    if (dst >= txCredits_.size())
-        txCredits_.resize(dst + 1, params_.niFifoBytes);
-    return txCredits_[dst];
+    if (dst >= txFlows_.size())
+        txFlows_.resize(dst + 1);
+    TxFlow &f = txFlows_[dst];
+    if (!f.inited) {
+        f.credits = params_.niFifoBytes;
+        f.retryTimeout = params_.niRetryTimeout();
+        f.inited = true;
+    }
+    return f;
+}
+
+NetworkInterface::RxFlow &
+NetworkInterface::rxFlowFor(NodeId src)
+{
+    if (src >= rxFlows_.size())
+        rxFlows_.resize(src + 1);
+    return rxFlows_[src];
 }
 
 void
@@ -311,6 +388,116 @@ NetworkInterface::postToNode(NodeId dst, Tick when, const char *name,
         eq_.schedule(when, name, std::move(fn),
                      sim::EventPriority::DeviceCompletion);
     }
+}
+
+Tick
+NetworkInterface::transmit(NodeId dst, const TxChunk &chunk,
+                           bool retransmit)
+{
+    // Every chunk carries its own header on the wire (the sequence
+    // number and checksum travel with each packet, not only the
+    // message-opening one).
+    std::uint64_t wire_bytes = chunk.data.size() + params_.niHeaderBytes;
+    Tick injected = net_.acquireLink(node_, wire_bytes, eq_.now());
+    Tick arrival = injected + net_.hopLatency();
+    if (retransmit)
+        ++retransmits_;
+
+    ChunkHeader h;
+    h.src = node_;
+    h.seq = chunk.seq;
+    h.dstAddr = chunk.dstAddr;
+    h.msgStart = chunk.msgStart;
+    h.msgEnd = chunk.msgEnd;
+    h.senderStart = chunk.senderStart;
+    h.checksum = chunk.checksum;
+
+    // The retransmit buffer keeps the pristine payload; the wire copy
+    // is what the fault model may mangle.
+    std::vector<std::uint8_t> payload = chunk.data;
+
+    FaultDecision fd =
+        net_.faults().decide(node_, dst, eq_.now(), /*control=*/false);
+    NetworkInterface *peer = net_.ni(dst);
+    switch (fd.action) {
+      case FaultAction::Drop:
+        // The injection link was occupied, but nothing arrives.
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " -> ", dst, " seq ", chunk.seq,
+                   " dropped on the wire");
+        return injected;
+      case FaultAction::Corrupt:
+        if (!payload.empty())
+            payload[fd.aux % payload.size()] ^= 0xFF;
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " -> ", dst, " seq ", chunk.seq,
+                   " corrupted on the wire");
+        break;
+      case FaultAction::Duplicate: {
+        // The copy takes one extra hop, so it still satisfies the
+        // sharded lookahead rule and arrives after the original.
+        std::vector<std::uint8_t> copy = payload;
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " -> ", dst, " seq ", chunk.seq,
+                   " duplicated on the wire");
+        postToNode(dst, arrival + net_.hopLatency(), "ni.deliver",
+                   [peer, h, copy = std::move(copy)]() mutable {
+                       peer->rxDeliver(h, std::move(copy));
+                   });
+        break;
+      }
+      case FaultAction::Delay:
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " -> ", dst, " seq ", chunk.seq,
+                   " delayed ", fd.extraDelay, " ticks");
+        arrival += fd.extraDelay;
+        break;
+      case FaultAction::Deliver:
+        break;
+    }
+
+    // The peer pointer is only dereferenced when the event fires, on
+    // the destination node's own shard.
+    postToNode(dst, arrival, "ni.deliver",
+               [peer, h, payload = std::move(payload)]() mutable {
+                   peer->rxDeliver(h, std::move(payload));
+               });
+    return injected;
+}
+
+void
+NetworkInterface::armRetry(NodeId dst, TxFlow &flow)
+{
+    if (net_.faults().config().disableRetransmit)
+        return;
+    if (flow.retryEvent.valid() || flow.unacked.empty())
+        return;
+    flow.retryEvent = eq_.scheduleIn(
+        flow.retryTimeout, "ni.rto", [this, dst] { onRetryTimeout(dst); },
+        sim::EventPriority::DeviceCompletion);
+}
+
+void
+NetworkInterface::onRetryTimeout(NodeId dst)
+{
+    TxFlow &flow = flowFor(dst);
+    flow.retryEvent = sim::EventHandle();
+    if (flow.unacked.empty())
+        return;
+    ++timeouts_;
+    trace::log(eq_.now(), trace::Category::NetFault, "node ", node_,
+               " retransmit timeout toward node ", dst, ": resending ",
+               flow.unacked.size(), " chunks from seq ",
+               flow.unacked.front().seq);
+    // Go-back-N: resend the whole unacknowledged window in order. The
+    // receiver accepts only the next expected sequence number, so
+    // anything it already has is discarded as a duplicate.
+    for (const TxChunk &c : flow.unacked)
+        transmit(dst, c, /*retransmit=*/true);
+    // Capped exponential backoff.
+    flow.retryTimeout =
+        std::min(flow.retryTimeout * 2, params_.niRetryTimeoutMax());
+    armRetry(dst, flow);
 }
 
 void
@@ -348,39 +535,35 @@ NetworkInterface::pump()
     std::uint32_t q = std::min(avail, pumpChunkBytes);
 
     // Sender-side credit window: launching consumes credits; the
-    // receiver's DMA returns them one hop after draining the chunk
-    // (creditReturn re-pumps). No receiver state is read here.
-    std::uint32_t &credits = creditsFor(msg.dstNode);
-    if (credits < q)
+    // receiver's cumulative ack returns them once its DMA drains the
+    // chunk (rxAck re-pumps). Retransmissions re-send chunks that
+    // already hold credits, so they never consume more.
+    TxFlow &flow = flowFor(msg.dstNode);
+    if (flow.credits < q)
         return;
-    credits -= q;
+    flow.credits -= q;
 
     bool msg_start = msg.launched == 0;
     bool msg_end = msg.launched + q == msg.total;
-    std::uint64_t wire_bytes =
-        q + (msg_start ? params_.niHeaderBytes : 0);
-    Tick injected = net_.acquireLink(node_, wire_bytes, eq_.now());
-    Tick arrival = injected + net_.hopLatency();
 
-    std::vector<std::uint8_t> payload(
-        msg.data.begin() + msg.launched,
-        msg.data.begin() + msg.launched + q);
-    Addr dst_addr = msg.dstBase + msg.launched;
-    NodeId src = node_;
-    Tick sender_start = msg.startTick;
+    TxChunk chunk;
+    chunk.seq = flow.nextSeq++;
+    chunk.dstAddr = msg.dstBase + msg.launched;
+    chunk.msgStart = msg_start;
+    chunk.msgEnd = msg_end;
+    chunk.senderStart = msg.startTick;
+    chunk.data.assign(msg.data.begin() + msg.launched,
+                      msg.data.begin() + msg.launched + q);
+    chunk.checksum =
+        chunkChecksum(node_, chunk.seq, chunk.dstAddr, msg_start,
+                      msg_end, chunk.data.data(), chunk.data.size());
+    flow.unacked.push_back(std::move(chunk));
+
+    Tick injected =
+        transmit(msg.dstNode, flow.unacked.back(), /*retransmit=*/false);
+    armRetry(msg.dstNode, flow);
 
     pumpBusy_ = true;
-    // The peer pointer is only dereferenced when the event fires, on
-    // the destination node's own shard.
-    NetworkInterface *peer = net_.ni(msg.dstNode);
-    postToNode(
-        msg.dstNode, arrival, "ni.deliver",
-        [peer, src, dst_addr, payload = std::move(payload), msg_start,
-         msg_end, sender_start]() mutable {
-            peer->rxDeliver(src, dst_addr, std::move(payload),
-                            msg_start, msg_end, sender_start);
-        });
-
     eq_.schedule(
         injected, "ni.pump",
         [this, q, msgp] {
@@ -403,27 +586,89 @@ NetworkInterface::pump()
 // --------------------------------------------------------------------
 
 void
-NetworkInterface::creditReturn(NodeId dst, std::uint32_t bytes)
+NetworkInterface::rxAck(NodeId dst, std::uint64_t cum)
 {
-    std::uint32_t &credits = creditsFor(dst);
-    credits += bytes;
-    SHRIMP_ASSERT(credits <= params_.niFifoBytes,
+    TxFlow &flow = flowFor(dst);
+    if (cum <= flow.cumAcked)
+        return; // stale or duplicate ack
+    flow.cumAcked = cum;
+    while (!flow.unacked.empty() && flow.unacked.front().seq < cum) {
+        flow.credits += std::uint32_t(flow.unacked.front().data.size());
+        flow.unacked.pop_front();
+    }
+    SHRIMP_ASSERT(flow.credits <= params_.niFifoBytes,
                   "credit window overflow toward node ", dst);
+    // Progress: restart the retransmit clock from the initial timeout.
+    if (flow.retryEvent.valid()) {
+        eq_.deschedule(flow.retryEvent);
+        flow.retryEvent = sim::EventHandle();
+    }
+    flow.retryTimeout = params_.niRetryTimeout();
+    armRetry(dst, flow);
     // A chunk may be stalled on this window; re-evaluate (idempotent,
     // returns immediately when the pump is mid-flight or idle).
     pump();
 }
 
 void
-NetworkInterface::rxDeliver(NodeId src, Addr dst_addr,
-                            std::vector<std::uint8_t> data,
-                            bool msg_start, bool msg_end,
-                            Tick sender_start)
+NetworkInterface::sendAck(NodeId src, std::uint64_t cum)
 {
+    ++acksSent_;
+    // Acks ride the reverse link's control path: the fault model may
+    // drop or delay them (a lost ack is recovered by the sender's
+    // timer), but never corrupts or duplicates control messages.
+    FaultDecision fd =
+        net_.faults().decide(node_, src, eq_.now(), /*control=*/true);
+    if (fd.action == FaultAction::Drop) {
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " ack to node ", src, " (cum ", cum,
+                   ") dropped");
+        return;
+    }
+    Tick when = eq_.now() + net_.hopLatency() + fd.extraDelay;
+    NetworkInterface *sender = net_.ni(src);
+    postToNode(src, when, "ni.ack",
+               [sender, me = node_, cum] { sender->rxAck(me, cum); });
+}
+
+void
+NetworkInterface::rxDeliver(const ChunkHeader &h,
+                            std::vector<std::uint8_t> data)
+{
+    std::uint64_t want =
+        chunkChecksum(h.src, h.seq, h.dstAddr, h.msgStart, h.msgEnd,
+                      data.data(), data.size());
+    if (want != h.checksum) {
+        ++rxCorruptDropped_;
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " discarding corrupt chunk seq ", h.seq,
+                   " from node ", h.src);
+        return; // no ack: the sender's timer recovers it
+    }
+    RxFlow &flow = rxFlowFor(h.src);
+    if (h.seq < flow.expected) {
+        // Already accepted (duplicate or retransmission overlap).
+        // Re-ack so a sender whose ack was lost makes progress.
+        ++rxDupDropped_;
+        sendAck(h.src, flow.drained);
+        return;
+    }
+    if (h.seq > flow.expected) {
+        // Past a gap (an earlier chunk was lost): go-back-N discards
+        // and waits for the sender to rewind.
+        ++rxOooDropped_;
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " discarding out-of-order chunk seq ", h.seq,
+                   " from node ", h.src, " (expected ", flow.expected,
+                   ")");
+        return;
+    }
+    flow.expected = h.seq + 1;
     auto len = std::uint32_t(data.size());
     rxFifoBytes_ += len;
-    rxChunks_.push_back(RxChunk{src, dst_addr, std::move(data),
-                                msg_start, msg_end, sender_start});
+    rxChunks_.push_back(RxChunk{h.src, h.seq, h.dstAddr,
+                                std::move(data), h.msgStart, h.msgEnd,
+                                h.senderStart});
     rxPump();
 }
 
@@ -448,18 +693,18 @@ NetworkInterface::rxPump()
             rxChunks_.pop_front();
             memory_.writeBytes(chunk.dstAddr, chunk.data.data(), len);
             rxBytes_ += double(len);
+            RxFlow &flow = rxFlowFor(chunk.src);
+            for (std::uint8_t b : chunk.data)
+                fnvByte(flow.dataDigest, b);
+            flow.touched = true;
+            flow.drained = chunk.seq + 1;
             SHRIMP_ASSERT(rxFifoBytes_ >= len, "rx FIFO underflow");
             rxFifoBytes_ -= len;
             rxDmaBusy_ = false;
-            // Return the credits to the sender's window, one
-            // backplane hop away (self-sends included, so the
-            // accounting is uniform).
-            NetworkInterface *sender = net_.ni(chunk.src);
-            postToNode(chunk.src, eq_.now() + net_.hopLatency(),
-                       "ni.credit",
-                       [sender, me = node_, len] {
-                           sender->creditReturn(me, len);
-                       });
+            // The cumulative ack doubles as the credit return: it
+            // tells the sender this chunk left the incoming FIFO
+            // (self-sends included, so the accounting is uniform).
+            sendAck(chunk.src, flow.drained);
             if (chunk.msgEnd) {
                 // The completion flag/word becomes visible a little
                 // after the data (write buffers, ordering).
@@ -489,6 +734,41 @@ NetworkInterface::rxPump()
             rxPump();
         },
         sim::EventPriority::DeviceCompletion);
+}
+
+std::uint64_t
+NetworkInterface::rxDataDigest() const
+{
+    std::uint64_t h = fnvBasis;
+    for (NodeId s = 0; s < rxFlows_.size(); ++s) {
+        const RxFlow &f = rxFlows_[s];
+        if (!f.touched)
+            continue;
+        fnvU64(h, s);
+        fnvU64(h, f.drained);
+        fnvU64(h, f.dataDigest);
+    }
+    return h;
+}
+
+std::vector<TxFlowDebug>
+NetworkInterface::txFlowDebug() const
+{
+    std::vector<TxFlowDebug> out;
+    for (NodeId d = 0; d < txFlows_.size(); ++d) {
+        const TxFlow &f = txFlows_[d];
+        if (!f.inited)
+            continue;
+        TxFlowDebug dbg;
+        dbg.dst = d;
+        dbg.nextSeq = f.nextSeq;
+        dbg.cumAcked = f.cumAcked;
+        dbg.unackedChunks = f.unacked.size();
+        for (const TxChunk &c : f.unacked)
+            dbg.unackedBytes += c.data.size();
+        out.push_back(dbg);
+    }
+    return out;
 }
 
 } // namespace shrimp::net

@@ -15,21 +15,35 @@
  * observable through an optional callback (benchmarks) and by polling
  * memory (user programs), just like the real system.
  *
+ * Reliability: the backplane may misbehave (shrimp/fault.hh), so each
+ * chunk carries an FNV-1a checksummed header with a per-flow sequence
+ * number. The receiver discards corrupt, duplicate, and out-of-order
+ * chunks, accepts exactly the next expected sequence number per
+ * source, and returns a cumulative acknowledgment one hop after its
+ * EISA DMA drains a chunk into memory. The sender keeps every
+ * unacknowledged chunk in a board-side retransmit buffer and re-sends
+ * the whole window (go-back-N) when the retransmit timer — re-armed
+ * afresh on every cumulative-ack advance, doubled up to a cap on each
+ * expiry — fires. On a healthy link the timer never fires and the ack
+ * doubles as the credit return, so the fault-free fast path is
+ * unchanged in shape.
+ *
  * Flow control is credit-based and entirely sender-side: each sender
  * holds a credit window per destination, sized to the receiver's
- * incoming FIFO. Launching a chunk consumes credits; the receiver's
- * EISA DMA returns them in a credit message one backplane hop after
- * it drains the chunk into memory. A slow receiver therefore
- * backpressures the sender's outgoing FIFO and, through it, the UDMA
- * engine — without the sender ever reading receiver state
- * synchronously, which is what lets nodes run on separate simulation
- * shards (sim/sharded.hh).
+ * incoming FIFO. Launching a chunk consumes credits; the cumulative
+ * ack releases them once the receiver's EISA DMA has drained the
+ * chunk. A slow receiver therefore backpressures the sender's
+ * outgoing FIFO and, through it, the UDMA engine — without the sender
+ * ever reading receiver state synchronously, which is what lets nodes
+ * run on separate simulation shards (sim/sharded.hh).
  *
- * All cross-node traffic (chunk deliveries and credit returns) is
- * posted through an optional sim::NodeRouter at >= one hop in the
- * future; without a router (direct construction in tests, or the
- * legacy single-queue System) the NI schedules on its own queue,
- * which is the same thing when that queue is shared.
+ * All cross-node traffic (chunk deliveries and acks) is posted
+ * through an optional sim::NodeRouter at >= one hop in the future
+ * (delayed or duplicated chunks land even later, never earlier, so
+ * the sharded engine's lookahead rule holds under faults); without a
+ * router (direct construction in tests, or the legacy single-queue
+ * System) the NI schedules on its own queue, which is the same thing
+ * when that queue is shared.
  */
 
 #ifndef SHRIMP_SHRIMP_NETWORK_INTERFACE_HH
@@ -71,6 +85,37 @@ struct Delivery
     Tick deliveredTick = 0;
 };
 
+/**
+ * The simulated wire header of one chunk. Every field is covered by
+ * the checksum together with the payload, so any corruption en route
+ * is detected at the receiver.
+ */
+struct ChunkHeader
+{
+    NodeId src = 0;
+    std::uint64_t seq = 0;
+    Addr dstAddr = 0;
+    bool msgStart = false;
+    bool msgEnd = false;
+    Tick senderStart = 0;
+    std::uint64_t checksum = 0;
+};
+
+/** FNV-1a over the header fields and the payload bytes. */
+std::uint64_t chunkChecksum(NodeId src, std::uint64_t seq,
+                            Addr dst_addr, bool msg_start, bool msg_end,
+                            const std::uint8_t *data, std::size_t len);
+
+/** Debug/trace view of one sender flow (model checker, tests). */
+struct TxFlowDebug
+{
+    NodeId dst = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t cumAcked = 0;
+    std::uint64_t unackedChunks = 0;
+    std::uint64_t unackedBytes = 0;
+};
+
 /** One node's SHRIMP NI. */
 class NetworkInterface : public dma::UdmaDevice
 {
@@ -85,10 +130,10 @@ class NetworkInterface : public dma::UdmaDevice
     const Nipt &nipt() const { return nipt_; }
 
     /**
-     * Route cross-node deliveries and credit returns through the
-     * sharded engine's mailboxes (core::System wires this when built
-     * with shards). Without a router they are scheduled directly on
-     * this NI's own event queue.
+     * Route cross-node deliveries and acks through the sharded
+     * engine's mailboxes (core::System wires this when built with
+     * shards). Without a router they are scheduled directly on this
+     * NI's own event queue.
      */
     void setRouter(sim::NodeRouter *router) { router_ = router; }
 
@@ -152,6 +197,50 @@ class NetworkInterface : public dma::UdmaDevice
     }
     Tick lastDeliveryTick() const { return lastDelivery_; }
 
+    // ------------------------------------------ reliability counters
+    /** Chunks re-sent by the go-back-N retransmit path. */
+    std::uint64_t retransmits() const
+    {
+        return std::uint64_t(retransmits_.value());
+    }
+    /** Retransmit-timer expiries. */
+    std::uint64_t timeouts() const
+    {
+        return std::uint64_t(timeouts_.value());
+    }
+    /** Cumulative acks this node sent as a receiver. */
+    std::uint64_t acksSent() const
+    {
+        return std::uint64_t(acksSent_.value());
+    }
+    /** Chunks discarded as already-received duplicates. */
+    std::uint64_t rxDuplicatesDropped() const
+    {
+        return std::uint64_t(rxDupDropped_.value());
+    }
+    /** Chunks discarded on a checksum mismatch. */
+    std::uint64_t rxCorruptDropped() const
+    {
+        return std::uint64_t(rxCorruptDropped_.value());
+    }
+    /** Chunks discarded for arriving past a sequence gap. */
+    std::uint64_t rxOutOfOrderDropped() const
+    {
+        return std::uint64_t(rxOooDropped_.value());
+    }
+
+    /**
+     * Digest of everything this node's receive DMA deposited in
+     * memory: per-source FNV-1a over the payload bytes in sequence
+     * order, folded over sources in ascending id. Chunk boundaries
+     * are excluded, so a fault-free run and a faulty run that
+     * recovered every byte produce the same digest.
+     */
+    std::uint64_t rxDataDigest() const;
+
+    /** Sender-flow snapshots (lost-completion traces, tests). */
+    std::vector<TxFlowDebug> txFlowDebug() const;
+
     /** Sender-start to last-byte delivery latencies (us). */
     const stats::Histogram &deliveryLatency() const
     {
@@ -190,15 +279,14 @@ class NetworkInterface : public dma::UdmaDevice
     // them synchronously, they post events through the router.
 
     /** A chunk arrives from the backplane. */
-    void rxDeliver(NodeId src, Addr dst_addr,
-                   std::vector<std::uint8_t> data, bool msg_start,
-                   bool msg_end, Tick sender_start);
+    void rxDeliver(const ChunkHeader &h, std::vector<std::uint8_t> data);
 
     /**
-     * A credit message from node @p dst: the receiver's DMA drained
-     * @p bytes of ours, so our send window toward it regrows.
+     * A cumulative ack from node @p dst: its receive DMA has drained
+     * every chunk of ours below sequence number @p cum. Releases the
+     * acked chunks' credits and retransmit-buffer slots.
      */
-    void creditReturn(NodeId dst, std::uint32_t bytes);
+    void rxAck(NodeId dst, std::uint64_t cum);
 
   private:
     struct TxMessage
@@ -212,9 +300,46 @@ class NetworkInterface : public dma::UdmaDevice
         std::vector<std::uint8_t> data;
     };
 
+    /** One unacknowledged chunk in the board's retransmit buffer. */
+    struct TxChunk
+    {
+        std::uint64_t seq = 0;
+        Addr dstAddr = 0;
+        bool msgStart = false;
+        bool msgEnd = false;
+        Tick senderStart = 0;
+        std::uint64_t checksum = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    /** Per-destination sender state (window, seq, retransmit). */
+    struct TxFlow
+    {
+        std::uint32_t credits = 0;
+        bool inited = false;
+        std::uint64_t nextSeq = 0;
+        std::uint64_t cumAcked = 0;
+        std::deque<TxChunk> unacked;
+        sim::EventHandle retryEvent;
+        Tick retryTimeout = 0;
+    };
+
+    /** Per-source receiver state (dedup, in-order accept, digest). */
+    struct RxFlow
+    {
+        /** Next sequence number this receiver accepts. */
+        std::uint64_t expected = 0;
+        /** Chunks fully drained into memory (the cumulative ack). */
+        std::uint64_t drained = 0;
+        /** FNV-1a over drained payload bytes, in sequence order. */
+        std::uint64_t dataDigest = 0x6368756e6b646967ull;
+        bool touched = false;
+    };
+
     struct RxChunk
     {
         NodeId src = 0;
+        std::uint64_t seq = 0;
         Addr dstAddr = 0;
         std::vector<std::uint8_t> data;
         bool msgStart = false;
@@ -227,8 +352,25 @@ class NetworkInterface : public dma::UdmaDevice
 
     std::uint32_t txFifoFree() const;
 
-    /** Remaining send window toward @p dst (grown on first use). */
-    std::uint32_t &creditsFor(NodeId dst);
+    /** Sender flow toward @p dst (grown on first use). */
+    TxFlow &flowFor(NodeId dst);
+    /** Receiver flow from @p src (grown on first use). */
+    RxFlow &rxFlowFor(NodeId src);
+
+    /**
+     * Put one chunk on the wire toward @p dst: occupies the injection
+     * link, consults the fault model, and posts the delivery (or
+     * doesn't). Returns the injection-complete tick.
+     */
+    Tick transmit(NodeId dst, const TxChunk &chunk, bool retransmit);
+
+    /** Arm the per-flow retransmit timer if it is not running. */
+    void armRetry(NodeId dst, TxFlow &flow);
+    /** Timer expiry: go-back-N retransmit, back off, re-arm. */
+    void onRetryTimeout(NodeId dst);
+
+    /** Post the cumulative ack for @p src's flow (fault-exposed). */
+    void sendAck(NodeId src, std::uint64_t cum);
 
     /** Post an event to @p dst through the router (or locally). */
     void postToNode(NodeId dst, Tick when, const char *name,
@@ -275,10 +417,8 @@ class NetworkInterface : public dma::UdmaDevice
     std::uint32_t txFifoBytes_ = 0;
     bool pumpBusy_ = false;
     static constexpr std::uint32_t pumpChunkBytes = 256;
-    /** Sender-side credit window per destination node; starts at the
-     *  peer's FIFO size, shrinks at launch, regrows on creditReturn.
-     *  Indexed by NodeId, grown on demand. */
-    std::vector<std::uint32_t> txCredits_;
+    /** Sender flows, indexed by destination NodeId. */
+    std::vector<TxFlow> txFlows_;
 
     // Receive state.
     std::deque<RxChunk> rxChunks_;
@@ -289,10 +429,18 @@ class NetworkInterface : public dma::UdmaDevice
      *  bottleneck either way. */
     std::uint32_t rxFifoBytes_ = 0;
     bool rxDmaBusy_ = false;
+    /** Receiver flows, indexed by source NodeId. */
+    std::vector<RxFlow> rxFlows_;
 
     stats::Scalar sent_;
     stats::Scalar delivered_;
     stats::Scalar rxBytes_;
+    stats::Scalar retransmits_;
+    stats::Scalar timeouts_;
+    stats::Scalar acksSent_;
+    stats::Scalar rxDupDropped_;
+    stats::Scalar rxCorruptDropped_;
+    stats::Scalar rxOooDropped_;
     /** Sender engine start to last byte in memory, microseconds. */
     stats::Histogram deliveryUs_{0, 1024, 32};
     stats::StatGroup statGroup_{"ni"};

@@ -96,6 +96,18 @@ struct MachineParams
     /** Receive-side completion visibility (flag lands in memory, ns). */
     double rxCompletionNs = 1000.0;
 
+    /**
+     * Initial sender-side retransmit timeout (us). Re-armed afresh on
+     * every cumulative-ack advance, so on a healthy link the timer
+     * never fires: fault-free runs pay no retransmissions. Doubled on
+     * each expiry up to niRetryTimeoutMaxUs (capped exponential
+     * backoff).
+     */
+    double niRetryTimeoutUs = 200.0;
+
+    /** Retransmit-backoff ceiling (us). */
+    double niRetryTimeoutMaxUs = 3200.0;
+
     // ----------------------------------------------------- interconnect
     /** Backplane link bandwidth (bytes/s). Paragon mesh class. */
     double linkBytesPerSec = 200e6;
@@ -183,6 +195,14 @@ struct MachineParams
         return Tick(autoCombineWindowNs * tickNs);
     }
     Tick rxCompletion() const { return Tick(rxCompletionNs * tickNs); }
+    Tick niRetryTimeout() const
+    {
+        return Tick(niRetryTimeoutUs * tickUs);
+    }
+    Tick niRetryTimeoutMax() const
+    {
+        return Tick(niRetryTimeoutMaxUs * tickUs);
+    }
     Tick linkLatency() const { return Tick(linkLatencyNs * tickNs); }
     Tick quantum() const { return Tick(quantumUs * tickUs); }
     Tick swapPage() const { return Tick(swapPageUs * tickUs); }

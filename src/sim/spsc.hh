@@ -66,6 +66,11 @@ class SpscRing
         if (tail_.load(std::memory_order_acquire) == h)
             return false;
         out = std::move(slots_[h & mask_]);
+        // Reset the slot: a moved-from T may still own resources
+        // (captured lambda state, heap buffers), and leaving it in
+        // the ring would keep them alive until the slot is reused —
+        // or forever, for a ring that drains and then idles.
+        slots_[h & mask_] = T{};
         head_.store(h + 1, std::memory_order_release);
         return true;
     }

@@ -25,6 +25,8 @@ categoryName(Category c)
         return "bus";
       case Category::Xfer:
         return "xfer";
+      case Category::NetFault:
+        return "net.fault";
       default:
         return "?";
     }

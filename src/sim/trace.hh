@@ -30,6 +30,7 @@ enum class Category : unsigned
     Ni,
     Bus,
     Xfer,
+    NetFault,
     NumCategories,
 };
 

@@ -43,6 +43,11 @@ runRing(const RingConfig &cfg)
     scfg.node.memBytes = cfg.memBytes;
     scfg.params.quantumUs = cfg.quantumUs;
     scfg.node.devices.push_back(DeviceConfig{});
+    // Always install the caller's fault config (specified = true), so
+    // a default-constructed RingConfig is genuinely fault-free even
+    // when the process saw --faults= or SHRIMP_FAULTS.
+    scfg.faults = cfg.faults;
+    scfg.faults.specified = true;
     System sys(scfg);
 
     const unsigned nodes = cfg.nodes;
@@ -118,16 +123,40 @@ runRing(const RingConfig &cfg)
         res.windows = eng->windows();
     }
 
+    res.faults = sys.net().faults().totals();
+
     Fnv fnv;
     fnv.mix(res.simTicks);
     fnv.mix(res.simEvents);
     fnv.mix(res.bytesRouted);
+    Fnv data;
     for (unsigned n = 0; n < nodes; ++n) {
         auto &node = sys.node(n);
         auto *ni = node.ni();
         res.messagesDelivered += ni->messagesDelivered();
         res.bytesDelivered += ni->bytesDelivered();
         res.contextSwitches += node.kernel().contextSwitches();
+        res.retransmits += ni->retransmits();
+        res.timeouts += ni->timeouts();
+        res.acksSent += ni->acksSent();
+        res.rxDupDropped += ni->rxDuplicatesDropped();
+        res.rxCorruptDropped += ni->rxCorruptDropped();
+        res.rxOooDropped += ni->rxOutOfOrderDropped();
+        if (done[n] != 0)
+            ++res.nodesDone;
+        for (const auto &f : ni->txFlowDebug()) {
+            if (f.unackedChunks == 0)
+                continue;
+            res.chunksUnacked += f.unackedChunks;
+            res.lostFlows.push_back(
+                "node" + std::to_string(n) + " -> node"
+                + std::to_string(f.dst) + ": "
+                + std::to_string(f.unackedChunks)
+                + " chunks unacked (next seq "
+                + std::to_string(f.nextSeq) + ", cum acked "
+                + std::to_string(f.cumAcked) + ")");
+        }
+        data.mix(ni->rxDataDigest());
 
         fnv.mix(started[n]);
         fnv.mix(done[n]);
@@ -136,7 +165,21 @@ runRing(const RingConfig &cfg)
         fnv.mix(ni->bytesDelivered());
         fnv.mix(ni->lastDeliveryTick());
         fnv.mix(node.kernel().contextSwitches());
+        fnv.mix(ni->retransmits());
+        fnv.mix(ni->timeouts());
+        fnv.mix(ni->acksSent());
+        fnv.mix(ni->rxDuplicatesDropped());
+        fnv.mix(ni->rxCorruptDropped());
+        fnv.mix(ni->rxOutOfOrderDropped());
+        fnv.mix(ni->rxDataDigest());
     }
+    res.dataDigest = data.h;
+    fnv.mix(res.faults.decisions);
+    fnv.mix(res.faults.dropped);
+    fnv.mix(res.faults.corrupted);
+    fnv.mix(res.faults.duplicated);
+    fnv.mix(res.faults.delayed);
+    fnv.mix(res.faults.downDropped);
     res.digest = fnv.h;
 
     for (unsigned n = 0; n < nodes; ++n) {

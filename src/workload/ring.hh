@@ -23,7 +23,10 @@
 #define SHRIMP_WORKLOAD_RING_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "shrimp/fault.hh"
 #include "sim/types.hh"
 
 namespace shrimp::workload
@@ -42,6 +45,13 @@ struct RingConfig
     double quantumUs = 200.0;
     std::uint64_t memBytes = std::uint64_t(8) << 20;
     Tick limit = Tick(300) * tickSec;
+    /**
+     * Backplane fault injection. Always installed with
+     * specified = true, so an in-process reference run with a
+     * default-constructed config really is fault-free even when the
+     * surrounding main saw `--faults=` or SHRIMP_FAULTS.
+     */
+    net::FaultConfig faults;
 };
 
 /** What one run produced (simulated time plus host wall time). */
@@ -58,6 +68,31 @@ struct RingResult
     /** FNV-1a over every per-node counter and the totals above. */
     std::uint64_t digest = 0;
     double aggregateMbS = 0;
+
+    // --- reliability outputs (also folded into digest).
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t acksSent = 0;
+    std::uint64_t rxDupDropped = 0;
+    std::uint64_t rxCorruptDropped = 0;
+    std::uint64_t rxOooDropped = 0;
+    /** Merged interconnect fault counters (what the links did). */
+    net::FaultCounters faults;
+    /**
+     * Digest of the payload bytes every receiver drained into memory
+     * (per-source flows, sequence order). Unlike `digest`, which folds
+     * timing-sensitive counters, this matches between a fault-free run
+     * and a faulty run that recovered every byte exactly once.
+     */
+    std::uint64_t dataDigest = 0;
+
+    // --- completion accounting (the lost-completion trace).
+    /** Nodes whose receiver saw all its records. */
+    unsigned nodesDone = 0;
+    /** Chunks still sitting in sender retransmit buffers at the end. */
+    std::uint64_t chunksUnacked = 0;
+    /** Human-readable unfinished flows ("node0 -> node1: ..."). */
+    std::vector<std::string> lostFlows;
 
     // --- host-side outputs: vary run to run.
     /** Wall seconds spent in the timed data phase. */

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the backplane fault model (shrimp/fault.hh): the
+ * `--faults=` spec parser, the per-(seed, src, dst) stream
+ * determinism the sharded engine relies on, and the decision
+ * semantics (cumulative probability mapping, down/degraded windows,
+ * the restricted control path, self-send exemption).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "shrimp/fault.hh"
+
+using namespace shrimp;
+using net::FaultAction;
+using net::FaultConfig;
+using net::FaultDecision;
+using net::FaultModel;
+using net::parseFaultSpec;
+
+namespace
+{
+
+FaultModel
+modelFor(const FaultConfig &cfg, unsigned nodes = 4)
+{
+    FaultModel m;
+    for (unsigned n = 0; n < nodes; ++n)
+        m.grow(n);
+    m.configure(cfg);
+    return m;
+}
+
+} // namespace
+
+TEST(FaultSpec, ParsesFullSpec)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("drop=0.05,corrupt=0.02,dup=0.01,"
+                               "delay=0.1,delay-us=50,degrade-drop=0.5,"
+                               "seed=42,no-retransmit",
+                               cfg, nullptr));
+    EXPECT_TRUE(cfg.specified);
+    EXPECT_DOUBLE_EQ(cfg.dropProb, 0.05);
+    EXPECT_DOUBLE_EQ(cfg.corruptProb, 0.02);
+    EXPECT_DOUBLE_EQ(cfg.dupProb, 0.01);
+    EXPECT_DOUBLE_EQ(cfg.delayProb, 0.1);
+    EXPECT_DOUBLE_EQ(cfg.delayUs, 50.0);
+    EXPECT_DOUBLE_EQ(cfg.degradedDropProb, 0.5);
+    EXPECT_EQ(cfg.seed, 42u);
+    EXPECT_TRUE(cfg.disableRetransmit);
+    EXPECT_TRUE(cfg.anyActive());
+}
+
+TEST(FaultSpec, ParsesWindows)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(
+        parseFaultSpec("down=0-1@100-200,degrade=1-2@0-50", cfg,
+                       nullptr));
+    ASSERT_EQ(cfg.downWindows.size(), 1u);
+    EXPECT_EQ(cfg.downWindows[0].src, 0u);
+    EXPECT_EQ(cfg.downWindows[0].dst, 1u);
+    EXPECT_EQ(cfg.downWindows[0].from, Tick(100) * tickUs);
+    EXPECT_EQ(cfg.downWindows[0].to, Tick(200) * tickUs);
+    ASSERT_EQ(cfg.degradedWindows.size(), 1u);
+    EXPECT_EQ(cfg.degradedWindows[0].src, 1u);
+    EXPECT_EQ(cfg.degradedWindows[0].dst, 2u);
+    EXPECT_TRUE(cfg.anyActive());
+}
+
+TEST(FaultSpec, OffIsSpecifiedButInactive)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("off", cfg, nullptr));
+    EXPECT_TRUE(cfg.specified);
+    EXPECT_FALSE(cfg.anyActive());
+}
+
+TEST(FaultSpec, RejectsGarbage)
+{
+    std::ostringstream err;
+    FaultConfig cfg;
+    cfg.dropProb = 0.5; // must stay untouched on failure
+    EXPECT_FALSE(parseFaultSpec("drop=banana", cfg, &err));
+    EXPECT_FALSE(parseFaultSpec("drop=1.5", cfg, &err));
+    EXPECT_FALSE(parseFaultSpec("drop=-0.1", cfg, &err));
+    EXPECT_FALSE(parseFaultSpec("frobnicate=1", cfg, &err));
+    EXPECT_FALSE(parseFaultSpec("down=0-1", cfg, &err));
+    EXPECT_FALSE(parseFaultSpec("down=0-1@50-10", cfg, &err));
+    // The four outcome probabilities share one uniform draw.
+    EXPECT_FALSE(
+        parseFaultSpec("drop=0.5,corrupt=0.3,dup=0.3", cfg, &err));
+    EXPECT_DOUBLE_EQ(cfg.dropProb, 0.5);
+    EXPECT_FALSE(cfg.specified);
+    EXPECT_FALSE(err.str().empty());
+}
+
+TEST(FaultModel, InactiveNeverDrawsOrCounts)
+{
+    FaultModel m = modelFor(FaultConfig{});
+    for (int i = 0; i < 100; ++i) {
+        FaultDecision d = m.decide(0, 1, Tick(i), false);
+        EXPECT_EQ(d.action, FaultAction::Deliver);
+    }
+    EXPECT_EQ(m.totals().decisions, 0u);
+}
+
+TEST(FaultModel, SelfSendsAreExempt)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("drop=1", cfg, nullptr));
+    FaultModel m = modelFor(cfg);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(m.decide(2, 2, Tick(i), false).action,
+                  FaultAction::Deliver);
+    EXPECT_EQ(m.totals().decisions, 0u);
+}
+
+TEST(FaultModel, CertainDropDropsEverything)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("drop=1", cfg, nullptr));
+    FaultModel m = modelFor(cfg);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(m.decide(0, 1, Tick(i), false).action,
+                  FaultAction::Drop);
+    EXPECT_EQ(m.totals().dropped, 50u);
+    EXPECT_EQ(m.totals().decisions, 50u);
+}
+
+TEST(FaultModel, StreamsAreDeterministicPerLinkPair)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec(
+        "drop=0.2,corrupt=0.2,dup=0.2,delay=0.2,seed=7", cfg, nullptr));
+
+    // Two independently constructed models make identical decisions
+    // for the same (src, dst, call-index) sequence — regardless of
+    // the order link pairs are interleaved in, because every ordered
+    // pair owns its own stream. This is the shard-count invariance
+    // argument in miniature.
+    FaultModel a = modelFor(cfg);
+    FaultModel b = modelFor(cfg);
+
+    std::vector<FaultDecision> aSeq;
+    // Model a: strictly per-pair batches.
+    for (int i = 0; i < 40; ++i)
+        aSeq.push_back(a.decide(0, 1, Tick(i), false));
+    for (int i = 0; i < 40; ++i)
+        aSeq.push_back(a.decide(1, 0, Tick(i), false));
+
+    // Model b: the same per-pair call sequences, interleaved.
+    std::vector<FaultDecision> b01, b10;
+    for (int i = 0; i < 40; ++i) {
+        b10.push_back(b.decide(1, 0, Tick(i), false));
+        b01.push_back(b.decide(0, 1, Tick(i), false));
+    }
+    for (int i = 0; i < 40; ++i) {
+        EXPECT_EQ(aSeq[i].action, b01[i].action) << "0->1 call " << i;
+        EXPECT_EQ(aSeq[i].aux, b01[i].aux);
+        EXPECT_EQ(aSeq[40 + i].action, b10[i].action)
+            << "1->0 call " << i;
+    }
+}
+
+TEST(FaultModel, DifferentSeedsDiverge)
+{
+    FaultConfig c1, c2;
+    ASSERT_TRUE(parseFaultSpec("drop=0.5,seed=1", c1, nullptr));
+    ASSERT_TRUE(parseFaultSpec("drop=0.5,seed=2", c2, nullptr));
+    FaultModel a = modelFor(c1);
+    FaultModel b = modelFor(c2);
+    bool diverged = false;
+    for (int i = 0; i < 64 && !diverged; ++i) {
+        diverged = a.decide(0, 1, Tick(i), false).action
+                   != b.decide(0, 1, Tick(i), false).action;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultModel, DownWindowDropsUnconditionally)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("down=0-1@100-200", cfg, nullptr));
+    FaultModel m = modelFor(cfg);
+
+    Tick inside = Tick(150) * tickUs;
+    Tick outside = Tick(250) * tickUs;
+    EXPECT_EQ(m.decide(0, 1, inside, false).action, FaultAction::Drop);
+    EXPECT_EQ(m.decide(0, 1, outside, false).action,
+              FaultAction::Deliver);
+    // The window names one directed link only.
+    EXPECT_EQ(m.decide(1, 0, inside, false).action,
+              FaultAction::Deliver);
+    EXPECT_EQ(m.totals().downDropped, 1u);
+}
+
+TEST(FaultModel, DegradedWindowBoostsDrop)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("degrade=0-1@0-1000,degrade-drop=1",
+                               cfg, nullptr));
+    FaultModel m = modelFor(cfg);
+    // degrade-drop=1 makes the in-window drop probability 1.
+    EXPECT_EQ(m.decide(0, 1, Tick(0), false).action,
+              FaultAction::Drop);
+    EXPECT_EQ(m.decide(0, 1, Tick(2000) * tickUs, false).action,
+              FaultAction::Deliver);
+}
+
+TEST(FaultModel, ControlPathOnlyDropsOrDelays)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec(
+        "drop=0.3,corrupt=0.35,dup=0.35,seed=3", cfg, nullptr));
+    FaultModel m = modelFor(cfg);
+    for (int i = 0; i < 200; ++i) {
+        FaultAction a = m.decide(0, 1, Tick(i), true).action;
+        EXPECT_TRUE(a == FaultAction::Deliver || a == FaultAction::Drop)
+            << "control chunk saw action " << int(a);
+    }
+}
+
+TEST(FaultModel, CorruptCarriesAuxDraw)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("corrupt=1", cfg, nullptr));
+    FaultModel m = modelFor(cfg);
+    FaultDecision d1 = m.decide(0, 1, Tick(0), false);
+    FaultDecision d2 = m.decide(0, 1, Tick(1), false);
+    EXPECT_EQ(d1.action, FaultAction::Corrupt);
+    EXPECT_EQ(d2.action, FaultAction::Corrupt);
+    // The aux draws come from the same stream: successive corruptions
+    // flip different bytes (overwhelmingly).
+    EXPECT_NE(d1.aux, d2.aux);
+}
+
+TEST(FaultModel, DelayAddsConfiguredLatency)
+{
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("delay=1,delay-us=35", cfg, nullptr));
+    FaultModel m = modelFor(cfg);
+    FaultDecision d = m.decide(0, 1, Tick(0), false);
+    EXPECT_EQ(d.action, FaultAction::Delay);
+    EXPECT_EQ(d.extraDelay, Tick(35) * tickUs);
+}

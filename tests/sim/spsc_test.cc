@@ -9,12 +9,25 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "sim/spsc.hh"
 
 using shrimp::sim::SpscRing;
+
+namespace
+{
+
+/** Payload whose live instances are observable: holds a shared_ptr
+ *  keyed to an external use_count. */
+struct Tracked
+{
+    std::shared_ptr<int> token;
+};
+
+} // namespace
 
 TEST(Spsc, CapacityRoundsUpToPowerOfTwo)
 {
@@ -72,6 +85,37 @@ TEST(Spsc, MoveOnlyPayload)
     std::vector<int> out;
     ASSERT_TRUE(ring.tryPop(out));
     EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Spsc, PopReleasesTheSlotsResources)
+{
+    // Regression test: tryPop used to move-assign out of the slot but
+    // never reset it, so a moved-from payload that still owned
+    // resources (e.g. a lambda's captures in the sharded mailboxes)
+    // kept them alive inside the ring until the slot was overwritten —
+    // or forever, for a ring that drained and then idled.
+    SpscRing<Tracked> ring(4);
+    auto token = std::make_shared<int>(42);
+    ASSERT_TRUE(ring.tryPush(Tracked{token}));
+    EXPECT_EQ(token.use_count(), 2); // ours + the slot's
+
+    {
+        Tracked out;
+        ASSERT_TRUE(ring.tryPop(out));
+        ASSERT_TRUE(out.token);
+        // The popped value owns one reference; the ring must not.
+        EXPECT_EQ(token.use_count(), 2) << "slot kept the payload "
+                                           "alive after tryPop";
+    }
+    EXPECT_EQ(token.use_count(), 1);
+
+    // The same holds across a wrap-around: every drained slot is dead.
+    for (int round = 0; round < 10; ++round) {
+        ASSERT_TRUE(ring.tryPush(Tracked{token}));
+        Tracked out;
+        ASSERT_TRUE(ring.tryPop(out));
+    }
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(Spsc, TwoThreadStressKeepsOrderAndLosesNothing)

@@ -91,6 +91,28 @@ fi
 echo "counterexample produced, as expected"
 
 echo
+echo "== model check: lossy net with retransmission must stay clean =="
+"${build_dir}/tools/udma_model_check" --net=drop=0.2,corrupt=0.1,seed=1
+
+echo
+echo "== model check: no-retransmit mutation must lose a completion =="
+if "${build_dir}/tools/udma_model_check" \
+        --net=drop=0.2,corrupt=0.1,seed=1 --mutate=no-retransmit \
+        > "${build_dir}/net_mutation.out" 2>&1
+then
+    echo "ERROR: the no-retransmit mutation went undetected"
+    exit 1
+fi
+if ! grep -q "lost completion" "${build_dir}/net_mutation.out"; then
+    echo "ERROR: no-retransmit run failed without a lost-completion"
+    echo "trace:"
+    cat "${build_dir}/net_mutation.out"
+    exit 1
+fi
+grep "VIOLATION" "${build_dir}/net_mutation.out" || true
+echo "counterexample produced, as expected"
+
+echo
 echo "== ctest (sanitized) =="
 (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
 
@@ -112,6 +134,18 @@ else
     "${tsan_dir}/tests/test_integration" \
         --gtest_filter='ShardDeterminism*'
 fi
+
+echo
+echo "== chaos: lossy 8-node ring under ASan+UBSan =="
+# A high-rate drop/corrupt/duplicate/delay mix on the sanitized build:
+# the retransmit path, duplicate suppression, and checksum rejection
+# all run hot while ASan watches the buffers. multinode_traffic itself
+# exits 1 if the faulty run fails to match its in-process fault-free
+# reference (lost or duplicated records) or if the shard counts
+# disagree.
+"${build_dir}/bench/multinode_traffic" \
+    --nodes=8 --shards=4 --records=32 \
+    --faults=drop=0.10,corrupt=0.05,dup=0.05,delay=0.10,seed=3
 
 echo
 echo "== self-perf smoke (Release, vs committed BENCH_selfperf.json) =="

@@ -54,9 +54,11 @@
 
 #include "check/monitor.hh"
 #include "core/system.hh"
+#include "shrimp/fault.hh"
 #include "sim/json.hh"
 #include "sim/span.hh"
 #include "sim/trace.hh"
+#include "workload/ring.hh"
 
 using namespace shrimp;
 
@@ -407,6 +409,10 @@ struct Options
     std::uint64_t maxStates = 200000;
     os::MutationKnobs mutations;
     std::vector<std::string> replay;
+    /** `--net=<faultspec>`: check delivery under faults instead. */
+    std::string netSpec;
+    /** `--mutate=no-retransmit`: disable NI recovery in --net mode. */
+    bool noRetransmit = false;
     bool traceReplay = false;
     bool quiet = false;
     bool ok = true;
@@ -625,7 +631,13 @@ usage(std::ostream &os)
           "                       no-proxy-shootdown (I2),\n"
           "                       no-tcache-shootdown (I2),\n"
           "                       no-proxy-writeprotect (I3),\n"
-          "                       no-i4-busy-check (I4)\n"
+          "                       no-i4-busy-check (I4),\n"
+          "                       no-retransmit (with --net: NI never\n"
+          "                       re-sends, lost chunks stay lost)\n"
+          "  --net=SPEC           check exactly-once delivery on an\n"
+          "                       unreliable backplane instead\n"
+          "                       (SPEC as in --faults=, e.g.\n"
+          "                       drop=0.2,corrupt=0.1,seed=7)\n"
           "  --replay=LIST        comma list of actions to replay\n"
           "                       instead of exploring\n"
           "  --trace=all          full tracing during --replay\n"
@@ -634,12 +646,15 @@ usage(std::ostream &os)
 }
 
 bool
-parseMutations(const std::string &list, os::MutationKnobs &out)
+parseMutations(const std::string &list, os::MutationKnobs &out,
+               bool &no_retransmit)
 {
     std::stringstream ss(list);
     std::string item;
     while (std::getline(ss, item, ',')) {
-        if (item == "no-inval-on-switch") {
+        if (item == "no-retransmit") {
+            no_retransmit = true;
+        } else if (item == "no-inval-on-switch") {
             out.skipInvalOnSwitch = true;
         } else if (item == "no-proxy-shootdown") {
             out.skipProxyShootdown = true;
@@ -668,6 +683,71 @@ splitList(const std::string &list)
     return out;
 }
 
+/**
+ * --net mode: instead of the invariant DFS, run the ring workload on
+ * an unreliable backplane (shrimp/fault.hh) and check the reliability
+ * property: every record is delivered exactly once — no sender flow
+ * retains unacknowledged chunks and every receiver finishes. With the
+ * no-retransmit mutation the NI never re-sends, so the first dropped
+ * chunk (or dropped ack) becomes a machine-readable lost-completion
+ * trace and the check fails — demonstrating the recovery layer is
+ * what makes the property hold, exactly like the I1-I4 mutations.
+ */
+int
+runNetCheck(const Options &opt)
+{
+    net::FaultConfig fc;
+    if (!net::parseFaultSpec(opt.netSpec, fc, &std::cerr)) {
+        usage(std::cerr);
+        return 2;
+    }
+    fc.disableRetransmit = fc.disableRetransmit || opt.noRetransmit;
+
+    workload::RingConfig rc;
+    rc.nodes = 2;
+    rc.records = 16;
+    rc.recordBytes = 1024;
+    rc.shards = 1;
+    rc.limit = Tick(5) * tickSec;
+    rc.faults = fc;
+    workload::RingResult r = workload::runRing(rc);
+
+    if (!opt.quiet) {
+        std::cout << "net-check: " << rc.nodes << "-node ring, "
+                  << rc.records << " records, faults '" << opt.netSpec
+                  << "'" << (fc.disableRetransmit
+                                 ? " (retransmission disabled)"
+                                 : "")
+                  << "\n";
+        std::cout << "net-check: links dropped " << r.faults.dropped
+                  << ", corrupted " << r.faults.corrupted
+                  << ", duplicated " << r.faults.duplicated
+                  << ", delayed " << r.faults.delayed << "; NI resent "
+                  << r.retransmits << " chunks over " << r.timeouts
+                  << " timeouts\n";
+    }
+
+    if (r.nodesDone < rc.nodes || r.chunksUnacked > 0) {
+        std::cout << "VIOLATION: lost completion — "
+                  << (rc.nodes - r.nodesDone) << " of " << rc.nodes
+                  << " receivers never finished, " << r.chunksUnacked
+                  << " chunks never acknowledged:\n";
+        for (const auto &f : r.lostFlows)
+            std::cout << "  " << f << "\n";
+        std::cout << "  (links dropped " << r.faults.dropped
+                  << " data chunks; retransmission "
+                  << (fc.disableRetransmit ? "disabled" : "enabled")
+                  << ")\n";
+        return 1;
+    }
+    std::cout << "net-check: all " << r.messagesDelivered
+              << " messages delivered exactly once ("
+              << r.rxDupDropped << " duplicates and "
+              << r.rxCorruptDropped
+              << " corrupt chunks discarded at receivers)\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -678,12 +758,32 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--depth=", 0) == 0) {
-            opt.depth = unsigned(std::stoul(arg.substr(8)));
-        } else if (arg.rfind("--max-states=", 0) == 0) {
-            opt.maxStates = std::stoull(arg.substr(13));
-        } else if (arg.rfind("--mutate=", 0) == 0) {
-            if (!parseMutations(arg.substr(9), opt.mutations))
+            // std::stoul throws on garbage ("--depth=banana") and on
+            // out-of-range values; turn both into a usage error
+            // instead of an uncaught-exception abort.
+            try {
+                opt.depth = unsigned(std::stoul(arg.substr(8)));
+            } catch (const std::exception &) {
+                std::cerr << "--depth: want a number, got '"
+                          << arg.substr(8) << "'\n";
+                usage(std::cerr);
                 return 2;
+            }
+        } else if (arg.rfind("--max-states=", 0) == 0) {
+            try {
+                opt.maxStates = std::stoull(arg.substr(13));
+            } catch (const std::exception &) {
+                std::cerr << "--max-states: want a number, got '"
+                          << arg.substr(13) << "'\n";
+                usage(std::cerr);
+                return 2;
+            }
+        } else if (arg.rfind("--mutate=", 0) == 0) {
+            if (!parseMutations(arg.substr(9), opt.mutations,
+                                opt.noRetransmit))
+                return 2;
+        } else if (arg.rfind("--net=", 0) == 0) {
+            opt.netSpec = arg.substr(6);
         } else if (arg.rfind("--replay=", 0) == 0) {
             opt.replay = splitList(arg.substr(9));
         } else if (arg == "--trace=all") {
@@ -701,6 +801,9 @@ main(int argc, char **argv)
             return 2;
         }
     }
+
+    if (!opt.netSpec.empty())
+        return runNetCheck(opt);
 
     const std::vector<Action> alphabet = actionAlphabet();
     if (list_actions) {
