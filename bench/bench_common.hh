@@ -21,6 +21,7 @@
 #include "core/system.hh"
 #include "core/udma_lib.hh"
 #include "sim/json.hh"
+#include "sim/profiler.hh"
 #include "sim/span.hh"
 
 namespace shrimp::bench
@@ -144,9 +145,24 @@ class BenchReport
             if (auto *ni = sys.node(i).ni()) {
                 messagesDelivered_ += ni->messagesDelivered();
                 bytesDelivered_ += ni->bytesDelivered();
+                // The NI samples per-message send-enqueue -> delivery
+                // sim-time latency; fold it into the report histogram
+                // (exact mean/min/max, bucket shape remapped at the
+                // report's geometry).
+                latencyUs_.merge(ni->deliveryLatency());
             }
         }
         ++systemsCaptured_;
+    }
+
+    /**
+     * Attach a shard time-budget profiler whose summary becomes the
+     * report's `profile` block. The profiler must outlive write().
+     */
+    void
+    attachProfiler(const sim::ShardProfiler *profiler)
+    {
+        profiler_ = profiler;
     }
 
     /** Write the report to the --stats-json path (no-op without one). */
@@ -193,6 +209,10 @@ class BenchReport
         stats::JsonDumper d(w);
         d.histogram("latency_us", "", latencyUs_);
         w.endObject();
+        if (profiler_) {
+            w.key("profile");
+            profiler_->dumpJson(w);
+        }
         w.key("spans");
         span::registry().dumpJson(w, /*includeSpans=*/false);
         w.endObject();
@@ -220,6 +240,7 @@ class BenchReport
     std::uint64_t messagesDelivered_ = 0;
     std::uint64_t bytesDelivered_ = 0;
     std::uint64_t systemsCaptured_ = 0;
+    const sim::ShardProfiler *profiler_ = nullptr;
 };
 
 /** Feed the active report (if any) from a finished System. */

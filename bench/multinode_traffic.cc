@@ -30,12 +30,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 
 #include "bench_common.hh"
 #include "core/system.hh"
+#include "sim/flight_recorder.hh"
+#include "sim/profiler.hh"
+#include "sim/trace_sink.hh"
 #include "workload/ring.hh"
 
 using namespace shrimp;
@@ -47,7 +52,8 @@ namespace
 /**
  * Extract "key": <number> from a flat JSON file with a crude scan —
  * enough for the committed-baseline gate without a JSON parser
- * dependency in bench/.
+ * dependency in bench/. Tolerates a quoted value ("key": "4"), which
+ * is how the report writes params.
  */
 bool
 scanJsonNumber(const std::string &text, const std::string &key,
@@ -59,6 +65,8 @@ scanJsonNumber(const std::string &text, const std::string &key,
         return false;
     pos += needle.size();
     while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t'))
+        ++pos;
+    if (pos < text.size() && text[pos] == '"')
         ++pos;
     char *end = nullptr;
     out = std::strtod(text.c_str() + pos, &end);
@@ -135,7 +143,11 @@ main(int argc, char **argv)
     }
 
     const unsigned shards = resolveShards(opts, cfg.nodes);
-    const unsigned host_cores = std::thread::hardware_concurrency();
+    // Honest parallelism accounting: the affinity mask (what this
+    // process may actually use), not the machine's thread count.
+    const unsigned host_cores = hostCoreCount();
+    const unsigned host_hw_threads =
+        std::max(1u, std::thread::hardware_concurrency());
 
     // Faults ride in from --faults= (parseRunOptions): the same spec
     // is applied to every timed run below, while the goodput
@@ -150,7 +162,23 @@ main(int argc, char **argv)
     report.setParam("record_bytes", double(cfg.recordBytes));
     report.setParam("shards", double(shards));
     report.setParam("host_cores", double(host_cores));
+    report.setParam("host_hw_threads", double(host_hw_threads));
     report.setParam("faulty", faulty ? 1 : 0);
+
+    // --profile=FILE: time-budget profiler + Perfetto trace sink on
+    // the measured (parallel) run. Observational only — the digests
+    // below must not notice it.
+    std::unique_ptr<sim::ShardProfiler> profiler;
+    std::unique_ptr<sim::TraceSink> sink;
+    if (!opts.profilePath.empty()) {
+        profiler = std::make_unique<sim::ShardProfiler>(
+            std::max(shards, 1u));
+        sink = std::make_unique<sim::TraceSink>(std::max(shards, 1u));
+        profiler->setTraceSink(sink.get());
+        // Keep enough finished spans for useful sim-time tracks (the
+        // default retention is sized for summaries, not traces).
+        span::registry().setRetainLimit(1u << 16);
+    }
 
     std::printf("# %u-node ring, %u x %u B per link, user-level "
                 "channels\n",
@@ -177,7 +205,18 @@ main(int argc, char **argv)
 
         workload::RingConfig par = cfg;
         par.shards = shards;
+        par.profiler = profiler.get();
+        par.onSystemDone = [](core::System &sys) {
+            bench::captureSystem(sys);
+        };
+        if (sink) {
+            // Only the measured run's spans and fault events belong
+            // in the trace.
+            span::registry().clear();
+            sim::TraceSink::setGlobal(sink.get());
+        }
         result = workload::runRing(par);
+        sim::TraceSink::setGlobal(nullptr);
         char label[32];
         std::snprintf(label, sizeof label, "shards=%u:", shards);
         printRun(label, result);
@@ -219,6 +258,9 @@ main(int argc, char **argv)
                 (unsigned long long)result.timeouts,
                 (unsigned long long)r1.dataDigest,
                 (unsigned long long)result.dataDigest);
+            // Post-mortem: the graveyard still holds both runs' last
+            // events even though their Systems are gone.
+            sim::FlightRecorder::dumpAll(std::cerr);
             return 1;
         }
         std::printf("determinism: shards=1 and shards=%u bit-identical "
@@ -233,7 +275,15 @@ main(int argc, char **argv)
         report.addMetric("wall_s_shards", result.hostSec);
         report.addMetric("speedup", speedup);
     } else {
+        cfg.onSystemDone = [](core::System &sys) {
+            bench::captureSystem(sys);
+        };
+        if (sink) {
+            span::registry().clear();
+            sim::TraceSink::setGlobal(sink.get());
+        }
         result = workload::runRing(cfg);
+        sim::TraceSink::setGlobal(nullptr);
         printRun("legacy:", result);
         report.addMetric("wall_s_seq", result.hostSec);
     }
@@ -281,6 +331,7 @@ main(int argc, char **argv)
                 (unsigned long long)result.chunksUnacked);
             for (const auto &f : result.lostFlows)
                 std::fprintf(stderr, "  lost: %s\n", f.c_str());
+            sim::FlightRecorder::dumpAll(std::cerr);
             return 1;
         }
         double ratio = ref.aggregateMbS > 0
@@ -338,6 +389,38 @@ main(int argc, char **argv)
                          ? double(result.simEvents) / result.hostSec
                          : 0);
     report.addMetric("identical", identical ? 1 : 0);
+
+    if (profiler) {
+        if (shards > 0) {
+            profiler->writeTable(std::cout);
+            const double acct = profiler->accountedFraction();
+            report.addMetric("profile_accounted_frac", acct);
+            report.attachProfiler(profiler.get());
+            if (acct < 0.95) {
+                std::fprintf(stderr,
+                             "PROFILE WARNING: buckets account for "
+                             "only %.1f%% of parallel wall time\n",
+                             acct * 100);
+            }
+        } else {
+            std::printf("# --profile: legacy single-queue run — no "
+                        "worker timelines, sim-time tracks only\n");
+        }
+        sink->addSpanTracks();
+        if (!sink->writeFile(opts.profilePath))
+            return 3;
+        std::printf(
+            "profile: %llu trace events -> %s (load in "
+            "ui.perfetto.dev)\n",
+            (unsigned long long)sink->eventCount(),
+            opts.profilePath.c_str());
+        if (sink->droppedSlices() > 0) {
+            std::fprintf(stderr,
+                         "PROFILE WARNING: %llu wall slices dropped "
+                         "(per-shard cap)\n",
+                         (unsigned long long)sink->droppedSlices());
+        }
+    }
     report.write();
 
     if (!check_against.empty()) {
@@ -402,9 +485,23 @@ main(int argc, char **argv)
                 return 1;
             }
         } else if (shards >= 2) {
-            std::printf("multinode gate: %u host core(s) — speedup "
-                        "floor skipped (need >= 4)\n",
-                        host_cores);
+            // Not silent: a skipped floor means this gate proved
+            // nothing about parallel performance.
+            std::fprintf(stderr,
+                         "MULTINODE GATE WARNING: speedup floor "
+                         "SKIPPED — only %u host core(s) available "
+                         "(need >= 4); parallel performance was NOT "
+                         "verified\n",
+                         host_cores);
+        }
+        double base_cores = 0;
+        if (scanJsonNumber(text, "host_cores", base_cores)
+            && base_cores < 4) {
+            std::fprintf(stderr,
+                         "MULTINODE GATE WARNING: committed baseline "
+                         "was recorded on %.0f core(s); its wall-clock "
+                         "numbers carry no speedup signal\n",
+                         base_cores);
         }
     }
     return 0;

@@ -7,7 +7,12 @@
 #include <ostream>
 #include <thread>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 #include "check/monitor.hh"
+#include "sim/flight_recorder.hh"
 #include "sim/json.hh"
 #include "sim/span.hh"
 #include "sim/trace.hh"
@@ -119,6 +124,12 @@ Node::Node(System &sys, NodeId id, const SystemConfig &cfg,
                 eq, params, layout, *memory_, *ioBus_, *udev, slot,
                 dc.queueDepth);
             kernel_->attachController(controllers_[slot].get());
+            if (cfg.nodes > 1) {
+                // Per-node span timelines (and Perfetto tracks).
+                controllers_[slot]->setSpanOwner(
+                    "node" + std::to_string(id) + ".udma"
+                    + std::to_string(slot));
+            }
         } else {
             drivers_[slot] =
                 std::make_unique<baseline::TraditionalDmaDriver>(
@@ -170,6 +181,7 @@ System::System(const SystemConfig &cfg)
     if (cfg.nodes == 0)
         fatal("a system needs at least one node");
     applyTraceEnv();
+    eq_.setFlightLabel("shared");
 
     if (cfg_.shards > 0) {
         for (const DeviceConfig &dc : cfg_.node.devices) {
@@ -397,6 +409,18 @@ parseRunOptions(int &argc, char **argv)
             }
             continue;
         }
+        if (arg.rfind("--profile=", 0) == 0) {
+            opts.profilePath = arg.substr(std::strlen("--profile="));
+            if (opts.profilePath.empty()) {
+                std::cerr << "--profile: empty path\n";
+                opts.ok = false;
+            } else {
+                // A profiled run is a diagnostic run: make failures
+                // produce their flight-recorder post-mortem too.
+                sim::FlightRecorder::setDumpOnPanic(true);
+            }
+            continue;
+        }
         if (arg.rfind("--shards=", 0) == 0) {
             std::string spec = arg.substr(std::strlen("--shards="));
             if (spec == "auto") {
@@ -421,13 +445,24 @@ parseRunOptions(int &argc, char **argv)
 }
 
 unsigned
+hostCoreCount()
+{
+#ifdef __linux__
+    cpu_set_t mask;
+    if (sched_getaffinity(0, sizeof mask, &mask) == 0) {
+        const int n = CPU_COUNT(&mask);
+        if (n > 0)
+            return unsigned(n);
+    }
+#endif
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned
 resolveShards(const RunOptions &opts, unsigned nodes)
 {
-    if (opts.shardsAuto) {
-        unsigned hw =
-            std::max(1u, std::thread::hardware_concurrency());
-        return std::min(nodes, hw);
-    }
+    if (opts.shardsAuto)
+        return std::min(nodes, hostCoreCount());
     return std::min(opts.shards, nodes);
 }
 

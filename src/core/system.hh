@@ -311,6 +311,7 @@ struct RunOptions
     std::string statsJsonPath; ///< empty: no JSON dump requested
     std::string traceSpec;     ///< empty: tracing unchanged
     std::string auditSpec;     ///< empty: invariant auditing off
+    std::string profilePath;   ///< `--profile=<file>`: Perfetto trace
     unsigned shards = 0;       ///< `--shards=N` (0: legacy queue)
     bool shardsAuto = false;   ///< `--shards=auto` was given
     net::FaultConfig faults;   ///< `--faults=<spec>` (shrimp/fault.hh)
@@ -319,7 +320,7 @@ struct RunOptions
 
 /**
  * Parse and strip `--stats-json=` / `--trace=` / `--audit=` /
- * `--shards=` / `--faults=` from argv (compacting argc/argv in place
+ * `--shards=` / `--faults=` / `--profile=` from argv (compacting argc/argv in place
  * so argument-consuming frameworks never see them); a `--trace=` spec
  * is applied immediately, and an `--audit=` spec (`every-event`,
  * `on-switch` or `at-barrier`) or a `--faults=` spec
@@ -337,6 +338,13 @@ RunOptions parseRunOptions(int &argc, char **argv);
  * count, 0 stays 0 (legacy single queue).
  */
 unsigned resolveShards(const RunOptions &opts, unsigned nodes);
+
+/**
+ * The number of CPU cores actually available to this process: the
+ * affinity-mask population on Linux (honest under taskset/cgroup
+ * pinning), std::thread::hardware_concurrency elsewhere; at least 1.
+ */
+unsigned hostCoreCount();
 
 /** Write sys.dumpStatsJson to opts.statsJsonPath if one was given. */
 void writeStatsJson(System &sys, const RunOptions &opts);

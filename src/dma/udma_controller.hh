@@ -78,6 +78,19 @@ class UdmaController : public bus::ProxyClient
                    std::uint32_t system_queue_depth = 4);
 
     /**
+     * Rename the owner attached to this controller's transfer spans
+     * (default "udma<slot>"). Multi-node systems qualify it with the
+     * node ("node3.udma0") so span timelines — and the Perfetto
+     * tracks TraceSink builds from them — distinguish nodes. Stats
+     * group naming is unaffected (the dump layer adds node prefixes
+     * itself).
+     */
+    void setSpanOwner(std::string owner)
+    {
+        ownerName_ = std::move(owner);
+    }
+
+    /**
      * Kernel-priority request (Section 7's two-queue design): the
      * kernel programs a transfer directly — e.g. paging I/O — and it
      * is serviced before any queued user request. Returns false if

@@ -5,12 +5,25 @@
 
 #include "sim/sharded.hh"
 #include "sim/trace.hh"
+#include "sim/trace_sink.hh"
 
 namespace shrimp::net
 {
 
 namespace
 {
+
+/** Sim-time instant on this node's "nodeN.net" Perfetto track (no-op
+ *  unless a --profile trace sink is installed). */
+inline void
+netInstant(NodeId src, const char *what, Tick at, NodeId dst,
+           std::uint64_t seq)
+{
+    if (sim::TraceSink *sink = sim::TraceSink::global()) {
+        sink->simInstant("node" + std::to_string(src) + ".net", what,
+                         at, "dst", dst, "seq", seq);
+    }
+}
 
 constexpr std::uint64_t fnvBasis = 14695981039346656037ull;
 constexpr std::uint64_t fnvPrime = 1099511628211ull;
@@ -400,8 +413,10 @@ NetworkInterface::transmit(NodeId dst, const TxChunk &chunk,
     std::uint64_t wire_bytes = chunk.data.size() + params_.niHeaderBytes;
     Tick injected = net_.acquireLink(node_, wire_bytes, eq_.now());
     Tick arrival = injected + net_.hopLatency();
-    if (retransmit)
+    if (retransmit) {
         ++retransmits_;
+        netInstant(node_, "retransmit", eq_.now(), dst, chunk.seq);
+    }
 
     ChunkHeader h;
     h.src = node_;
@@ -425,6 +440,7 @@ NetworkInterface::transmit(NodeId dst, const TxChunk &chunk,
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
                    node_, " -> ", dst, " seq ", chunk.seq,
                    " dropped on the wire");
+        netInstant(node_, "drop", eq_.now(), dst, chunk.seq);
         return injected;
       case FaultAction::Corrupt:
         if (!payload.empty())
@@ -432,6 +448,7 @@ NetworkInterface::transmit(NodeId dst, const TxChunk &chunk,
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
                    node_, " -> ", dst, " seq ", chunk.seq,
                    " corrupted on the wire");
+        netInstant(node_, "corrupt", eq_.now(), dst, chunk.seq);
         break;
       case FaultAction::Duplicate: {
         // The copy takes one extra hop, so it still satisfies the
@@ -440,6 +457,7 @@ NetworkInterface::transmit(NodeId dst, const TxChunk &chunk,
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
                    node_, " -> ", dst, " seq ", chunk.seq,
                    " duplicated on the wire");
+        netInstant(node_, "duplicate", eq_.now(), dst, chunk.seq);
         postToNode(dst, arrival + net_.hopLatency(), "ni.deliver",
                    [peer, h, copy = std::move(copy)]() mutable {
                        peer->rxDeliver(h, std::move(copy));
@@ -450,6 +468,7 @@ NetworkInterface::transmit(NodeId dst, const TxChunk &chunk,
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
                    node_, " -> ", dst, " seq ", chunk.seq,
                    " delayed ", fd.extraDelay, " ticks");
+        netInstant(node_, "delay", eq_.now(), dst, chunk.seq);
         arrival += fd.extraDelay;
         break;
       case FaultAction::Deliver:
@@ -485,6 +504,7 @@ NetworkInterface::onRetryTimeout(NodeId dst)
     if (flow.unacked.empty())
         return;
     ++timeouts_;
+    netInstant(node_, "rto", eq_.now(), dst, flow.unacked.front().seq);
     trace::log(eq_.now(), trace::Category::NetFault, "node ", node_,
                " retransmit timeout toward node ", dst, ": resending ",
                flow.unacked.size(), " chunks from seq ",

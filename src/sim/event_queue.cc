@@ -116,6 +116,7 @@ EventQueue::fire(const HeapEntry &e)
     Record &rec = slots_[e.slot];
     SHRIMP_ASSERT(rec.when >= curTick_, "time went backwards");
     curTick_ = rec.when;
+    flight_.record(rec.when, rec.name, rec.prio);
     // Move the callback out so the slot can be recycled even if the
     // callback schedules further events.
     EventCallback fn = std::move(rec.fn);

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/flight_recorder.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -345,6 +346,15 @@ class EventQueue
     /** Slab capacity in event records (the high-water mark). */
     std::size_t slabSlots() const { return slots_.size(); }
 
+    /** Name this queue's flight recorder in post-mortem dumps. */
+    void setFlightLabel(std::string label)
+    {
+        flight_.setLabel(std::move(label));
+    }
+
+    /** The per-queue ring of recently fired events. */
+    const FlightRecorder &flightRecorder() const { return flight_; }
+
   private:
     /** One slab slot: a (possibly recycled) event record. */
     struct Record
@@ -415,6 +425,7 @@ class EventQueue
     std::vector<Record> slots_;
     std::vector<std::uint32_t> freeSlots_;
     std::vector<HeapEntry> heap_;
+    FlightRecorder flight_;
 };
 
 } // namespace shrimp::sim

@@ -1,0 +1,128 @@
+#include "sim/flight_recorder.hh"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace shrimp::sim
+{
+
+namespace
+{
+
+/** A destroyed recorder's preserved history. */
+struct Snapshot
+{
+    std::string label;
+    std::vector<std::pair<Tick, std::string>> tail; ///< oldest first
+    std::uint64_t recorded = 0;
+};
+
+constexpr std::size_t graveyardLimit = 64;
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<FlightRecorder *> live;
+    std::deque<Snapshot> graveyard;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    r.live.push_back(this);
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    r.live.erase(std::remove(r.live.begin(), r.live.end(), this),
+                 r.live.end());
+    if (head_ == 0)
+        return;
+    Snapshot snap;
+    snap.label = label_;
+    snap.recorded = head_;
+    const std::uint64_t n = std::min(head_, capacity);
+    for (std::uint64_t i = head_ - n; i < head_; ++i) {
+        const Entry &e = ring_[i % capacity];
+        snap.tail.emplace_back(
+            e.when, std::string(e.name ? e.name : "?") + " prio="
+                        + std::to_string(e.prio));
+    }
+    r.graveyard.push_back(std::move(snap));
+    while (r.graveyard.size() > graveyardLimit)
+        r.graveyard.pop_front();
+}
+
+void
+FlightRecorder::setLabel(std::string label)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    label_ = std::move(label);
+}
+
+void
+FlightRecorder::dumpRing(std::ostream &os) const
+{
+    const std::uint64_t n = std::min(head_, capacity);
+    os << "  " << label_ << ": " << head_ << " events recorded; last "
+       << n << ":\n";
+    for (std::uint64_t i = head_ - n; i < head_; ++i) {
+        const Entry &e = ring_[i % capacity];
+        os << "    [" << i << "] t=" << e.when << " prio=" << e.prio
+           << " " << (e.name ? e.name : "?") << "\n";
+    }
+}
+
+void
+FlightRecorder::dumpAll(std::ostream &os)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    os << "== flight recorder: recent sim events per queue ==\n";
+    bool any = false;
+    for (const FlightRecorder *fr : r.live) {
+        if (fr->head_ == 0)
+            continue;
+        any = true;
+        fr->dumpRing(os);
+    }
+    for (const Snapshot &s : r.graveyard) {
+        any = true;
+        os << "  " << s.label << " (destroyed): " << s.recorded
+           << " events recorded; last " << s.tail.size() << ":\n";
+        std::uint64_t idx = s.recorded - s.tail.size();
+        for (const auto &[when, what] : s.tail) {
+            os << "    [" << idx++ << "] t=" << when << " " << what
+               << "\n";
+        }
+    }
+    if (!any)
+        os << "  (no recorded events)\n";
+}
+
+void
+FlightRecorder::clearAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    r.graveyard.clear();
+    for (FlightRecorder *fr : r.live)
+        fr->head_ = 0;
+}
+
+} // namespace shrimp::sim

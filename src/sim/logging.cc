@@ -1,6 +1,9 @@
 #include "sim/logging.hh"
 
 #include <cstdio>
+#include <iostream>
+
+#include "sim/flight_recorder.hh"
 
 namespace shrimp
 {
@@ -33,6 +36,11 @@ emit(const char *level, const std::string &msg)
     if (!always && !verboseFlag)
         return;
     std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+    // A panic is a simulator bug: give the post-mortem its context
+    // before the exception unwinds the evidence (opt-in; tests that
+    // assert on panics keep their output clean).
+    if (level[0] == 'p' && sim::FlightRecorder::dumpOnPanic())
+        sim::FlightRecorder::dumpAll(std::cerr);
 }
 
 } // namespace logging_detail

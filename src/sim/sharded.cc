@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/profiler.hh"
+
 namespace shrimp::sim
 {
 
@@ -13,8 +15,10 @@ ShardedEngine::ShardedEngine(unsigned nodes, unsigned shards,
 {
     SHRIMP_ASSERT(nodes > 0, "engine needs at least one node");
     queues_.reserve(nodes);
-    for (unsigned n = 0; n < nodes; ++n)
+    for (unsigned n = 0; n < nodes; ++n) {
         queues_.push_back(std::make_unique<EventQueue>());
+        queues_.back()->setFlightLabel("node" + std::to_string(n));
+    }
     shardNodes_.resize(shards_);
     for (unsigned n = 0; n < nodes; ++n)
         shardNodes_[n % shards_].push_back(n);
@@ -67,7 +71,7 @@ ShardedEngine::windowEndFor(Tick start, Tick limit) const
     return start + (lookahead_ - 1);
 }
 
-void
+std::size_t
 ShardedEngine::drainShard(unsigned dst_shard)
 {
     auto &batch = drainBuf_[dst_shard];
@@ -96,7 +100,9 @@ ShardedEngine::drainShard(unsigned dst_shard)
         queues_[m.dst]->schedule(m.when, m.name, std::move(m.fn),
                                  EventPriority(m.prio));
     }
+    const std::size_t delivered = batch.size();
     batch.clear();
+    return delivered;
 }
 
 void
@@ -130,7 +136,14 @@ ShardedEngine::planWindow()
         ctrl_.done = true;
         return;
     }
+    // A gap between the previous window's end and the next event means
+    // the engine skipped empty windows in one hop — worth counting:
+    // lots of skips at 1-tick lookahead is the signature of a
+    // barrier-bound run.
+    if (profiler_ && ctrl_.haveWindow && next > ctrl_.windowEnd + 1)
+        profiler_->noteWindowSkip();
     ctrl_.windowEnd = windowEndFor(next, ctrl_.limit);
+    ctrl_.haveWindow = true;
     ++windows_;
 }
 
@@ -145,11 +158,30 @@ ShardedEngine::noteError()
 void
 ShardedEngine::workerBody(unsigned worker, unsigned workers)
 {
+    // Profiling (when attached and running) chains one clock read per
+    // phase transition, so the five buckets tile this thread's wall
+    // time with no gaps; see profiler.hh.
+    ShardProfiler *prof =
+        (profiler_ && profiler_->running()) ? profiler_ : nullptr;
+    std::uint64_t t = prof ? prof->nowNs() : 0;
+    auto executedHere = [&]() {
+        std::uint64_t n = 0;
+        for (unsigned s = worker; s < shards_; s += workers)
+            for (NodeId node : shardNodes_[s])
+                n += queues_[node]->eventsExecuted();
+        return n;
+    };
     for (;;) {
         // Completion plans the next window with every worker parked.
         planBarrier_->arriveAndWait();
+        if (prof) {
+            const std::uint64_t n = prof->nowNs();
+            prof->notePlan(worker, t, n);
+            t = n;
+        }
         if (ctrl_.done)
             return;
+        const std::uint64_t before = prof ? executedHere() : 0;
         try {
             for (unsigned s = worker; s < shards_; s += workers) {
                 for (NodeId n : shardNodes_[s])
@@ -158,12 +190,28 @@ ShardedEngine::workerBody(unsigned worker, unsigned workers)
         } catch (...) {
             noteError();
         }
+        if (prof) {
+            const std::uint64_t n = prof->nowNs();
+            prof->noteExecute(worker, t, n, executedHere() - before);
+            t = n;
+        }
         syncBarrier_->arriveAndWait();
+        if (prof) {
+            const std::uint64_t n = prof->nowNs();
+            prof->noteSync(worker, t, n);
+            t = n;
+        }
+        std::size_t drained = 0;
         try {
             for (unsigned s = worker; s < shards_; s += workers)
-                drainShard(s);
+                drained += drainShard(s);
         } catch (...) {
             noteError();
+        }
+        if (prof) {
+            const std::uint64_t n = prof->nowNs();
+            prof->noteDrain(worker, t, n, drained);
+            t = n;
         }
     }
 }

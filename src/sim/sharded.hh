@@ -45,6 +45,8 @@
 namespace shrimp::sim
 {
 
+class ShardProfiler;
+
 /**
  * Where a component posts an event destined for (possibly) another
  * node. The sharded engine implements this with mailboxes; components
@@ -176,6 +178,14 @@ class ShardedEngine : public NodeRouter
         barrierHook_ = std::move(hook);
     }
 
+    /**
+     * Attach a time-budget profiler. Workers note their window
+     * lifecycle phases into it while it is running() (see
+     * profiler.hh); detach with nullptr. Observational only — the
+     * sim-visible execution is identical with or without it.
+     */
+    void setProfiler(ShardProfiler *profiler) { profiler_ = profiler; }
+
     // --------------------------------------------- merged views
     /** Max of the per-node clocks (the global sim time). */
     Tick now() const;
@@ -225,6 +235,10 @@ class ShardedEngine : public NodeRouter
         const std::function<bool()> *pred = nullptr;
         Tick windowEnd = 0;
         bool done = false;
+        /** True once a first window has been planned this run (the
+         *  planner uses windowEnd of the previous window to detect
+         *  skipped-ahead gaps for the profiler). */
+        bool haveWindow = false;
         std::exception_ptr error;
     };
 
@@ -241,8 +255,9 @@ class ShardedEngine : public NodeRouter
     Tick windowEndFor(Tick start, Tick limit) const;
 
     /** Pop + spill-drain every mailbox bound for @p dst_shard and
-     *  schedule the messages in canonical order. */
-    void drainShard(unsigned dst_shard);
+     *  schedule the messages in canonical order.
+     *  @return Number of messages delivered. */
+    std::size_t drainShard(unsigned dst_shard);
 
     /** Sequential full drain (entry to either run mode). */
     void drainAll();
@@ -265,6 +280,7 @@ class ShardedEngine : public NodeRouter
     std::vector<std::vector<CrossMsg>> drainBuf_;
 
     std::function<void()> barrierHook_;
+    ShardProfiler *profiler_ = nullptr;
     std::uint64_t windows_ = 0;
 
     Control ctrl_;

@@ -64,6 +64,22 @@ class Average
         max_ = 0;
     }
 
+    /** Fold another Average's samples into this one (exact). */
+    void
+    merge(const Average &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        sum_ += other.sum_;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
@@ -109,6 +125,33 @@ class Histogram
         std::fill(counts_.begin(), counts_.end(), 0);
     }
 
+    /**
+     * Fold another histogram's population into this one. The summary
+     * (count/sum/min/max) merge is exact; bucket counts are remapped
+     * by source-bucket midpoint when the geometries differ, so shape
+     * is approximate at the target's resolution. Source underflows
+     * stay underflows; source overflows overflow unless the target
+     * range extends beyond the source's.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        stats_.merge(other.stats_);
+        counts_.front() += other.counts_.front();
+        for (std::size_t i = 0; i < other.buckets_; ++i) {
+            const std::uint64_t n = other.counts_[1 + i];
+            if (n == 0)
+                continue;
+            addCount(other.bucketLo(i) + other.bucketWidth() / 2, n);
+        }
+        if (other.counts_.back() > 0) {
+            if (other.hi_ >= hi_)
+                counts_.back() += other.counts_.back();
+            else
+                addCount(other.hi_, other.counts_.back());
+        }
+    }
+
     const Average &summary() const { return stats_; }
     std::uint64_t underflows() const { return counts_.front(); }
     std::uint64_t overflows() const { return counts_.back(); }
@@ -130,6 +173,20 @@ class Histogram
     double bucketWidth() const { return (hi_ - lo_) / double(buckets_); }
 
   private:
+    /** Bucket-count bump without touching the summary (merge path). */
+    void
+    addCount(double v, std::uint64_t n)
+    {
+        if (v < lo_) {
+            counts_.front() += n;
+        } else if (v >= hi_) {
+            counts_.back() += n;
+        } else {
+            auto idx = std::size_t((v - lo_) / (hi_ - lo_) * buckets_);
+            counts_[1 + std::min(idx, buckets_ - 1)] += n;
+        }
+    }
+
     double lo_;
     double hi_;
     std::size_t buckets_;

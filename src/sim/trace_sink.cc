@@ -1,0 +1,241 @@
+#include "sim/trace_sink.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "sim/span.hh"
+
+namespace shrimp::sim
+{
+
+namespace
+{
+
+/** Escape for a JSON string literal (labels are plain ASCII, but the
+ *  writer must never emit invalid JSON whatever it is handed). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c & 0x1f);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** One compact trace-event line. ts/dur are microseconds. */
+void
+emitEvent(std::ostream &os, bool &first, char ph, unsigned pid,
+          unsigned tid, double ts_us, const char *name, const char *cat,
+          double dur_us = -1, const char *k0 = nullptr,
+          std::uint64_t v0 = 0, const char *k1 = nullptr,
+          std::uint64_t v1 = 0)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "{\"ph\":\"%c\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f",
+                  ph, pid, tid, ts_us);
+    os << head;
+    if (dur_us >= 0) {
+        char dur[64];
+        std::snprintf(dur, sizeof dur, ",\"dur\":%.3f", dur_us);
+        os << dur;
+    }
+    os << ",\"name\":\"" << jsonEscape(name ? name : "?")
+       << "\",\"cat\":\"" << cat << "\"";
+    if (ph == 'i')
+        os << ",\"s\":\"t\"";
+    if (k0) {
+        os << ",\"args\":{\"" << jsonEscape(k0) << "\":" << v0;
+        if (k1)
+            os << ",\"" << jsonEscape(k1) << "\":" << v1;
+        os << "}";
+    }
+    os << "}";
+}
+
+/** Thread-name metadata record. */
+void
+emitThreadName(std::ostream &os, bool &first, unsigned pid, unsigned tid,
+               const std::string &name)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << jsonEscape(name) << "\"}}";
+}
+
+void
+emitProcessName(std::ostream &os, bool &first, unsigned pid,
+                const std::string &name)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << jsonEscape(name) << "\"}}";
+}
+
+constexpr unsigned pidWall = 1; ///< wall-clock worker timelines
+constexpr unsigned pidSpan = 2; ///< sim-time transfer spans
+constexpr unsigned pidNet = 3;  ///< sim-time network fault instants
+
+} // namespace
+
+TraceSink::TraceSink(unsigned shards) : rows_(std::max(shards, 1u)) {}
+
+void
+TraceSink::workerSlice(unsigned shard, const char *name,
+                       std::uint64_t begin_ns, std::uint64_t end_ns)
+{
+    if (shard >= rows_.size())
+        return;
+    Row &row = rows_[shard];
+    if (row.slices.size() >= maxSlicesPerShard) {
+        ++row.dropped;
+        return;
+    }
+    row.slices.push_back(WallSlice{name, begin_ns, end_ns});
+}
+
+void
+TraceSink::simInstant(const std::string &track, const char *name, Tick at,
+                      const char *k0, std::uint64_t v0, const char *k1,
+                      std::uint64_t v1)
+{
+    std::lock_guard<std::mutex> g(simMu_);
+    simEvents_.push_back(
+        SimEvent{track, name, at, at, true, k0, v0, k1, v1});
+}
+
+void
+TraceSink::simSlice(const std::string &track, const char *name, Tick start,
+                    Tick end, const char *k0, std::uint64_t v0,
+                    const char *k1, std::uint64_t v1)
+{
+    std::lock_guard<std::mutex> g(simMu_);
+    simEvents_.push_back(SimEvent{track, name, start,
+                                  std::max(start, end), false, k0, v0,
+                                  k1, v1});
+}
+
+void
+TraceSink::addSpanTracks()
+{
+    // Post-run: the registry's retained deque is stable.
+    for (const span::Span &s : span::registry().retained()) {
+        simSlice(s.owner, span::outcomeName(s.outcome), s.latched,
+                 s.ended, "id", s.id, "bytes", s.bytes);
+    }
+}
+
+std::uint64_t
+TraceSink::eventCount() const
+{
+    std::uint64_t n = 0;
+    for (const Row &r : rows_)
+        n += 2 * r.slices.size();
+    std::lock_guard<std::mutex> g(simMu_);
+    return n + simEvents_.size();
+}
+
+std::uint64_t
+TraceSink::droppedSlices() const
+{
+    std::uint64_t n = 0;
+    for (const Row &r : rows_)
+        n += r.dropped;
+    return n;
+}
+
+void
+TraceSink::write(std::ostream &os) const
+{
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+
+    emitProcessName(os, first, pidWall, "shard workers (wall clock)");
+    emitProcessName(os, first, pidSpan, "transfer spans (sim time)");
+    emitProcessName(os, first, pidNet, "network faults (sim time)");
+    for (unsigned s = 0; s < rows_.size(); ++s) {
+        emitThreadName(os, first, pidWall, s,
+                       "shard" + std::to_string(s));
+    }
+
+    // Sim-domain tracks: tids in first-appearance order per pid.
+    std::map<std::string, unsigned> spanTids;
+    std::map<std::string, unsigned> netTids;
+    {
+        std::lock_guard<std::mutex> g(simMu_);
+        for (const SimEvent &e : simEvents_) {
+            auto &tids = e.instant ? netTids : spanTids;
+            auto [it, inserted] =
+                tids.emplace(e.track, unsigned(tids.size()));
+            if (inserted) {
+                emitThreadName(os, first,
+                               e.instant ? pidNet : pidSpan,
+                               it->second, e.track);
+            }
+        }
+
+        for (const SimEvent &e : simEvents_) {
+            if (e.instant) {
+                emitEvent(os, first, 'i', pidNet, netTids[e.track],
+                          ticksToUs(e.start), e.name, "net", -1, e.k0,
+                          e.v0, e.k1, e.v1);
+            } else {
+                emitEvent(os, first, 'X', pidSpan, spanTids[e.track],
+                          ticksToUs(e.start), e.name, "span",
+                          ticksToUs(e.end - e.start), e.k0, e.v0,
+                          e.k1, e.v1);
+            }
+        }
+    }
+
+    for (unsigned s = 0; s < rows_.size(); ++s) {
+        for (const WallSlice &sl : rows_[s].slices) {
+            emitEvent(os, first, 'B', pidWall, s,
+                      double(sl.beginNs) / 1000.0, sl.name, "worker");
+            emitEvent(os, first, 'E', pidWall, s,
+                      double(sl.endNs) / 1000.0, sl.name, "worker");
+        }
+    }
+
+    os << "\n]\n}\n";
+}
+
+bool
+TraceSink::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "trace: cannot write " << path << "\n";
+        return false;
+    }
+    write(out);
+    return bool(out);
+}
+
+} // namespace shrimp::sim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event JSON export.
+ *
+ * A TraceSink collects trace events in two clock domains and writes
+ * them as one trace-event-format document that ui.perfetto.dev (or
+ * chrome://tracing) loads directly:
+ *
+ *  - Wall-clock worker timelines (pid 1): one track per shard worker
+ *    thread, with "execute" / "idle" / "barrier.plan" /
+ *    "barrier.sync" / "drain" slices emitted by the ShardProfiler.
+ *    Timestamps are host nanoseconds since the profiler was created,
+ *    written in microseconds as the format requires.
+ *  - Sim-time tracks (pid 2 and 3): transfer-lifecycle spans pulled
+ *    from span::Registry (one track per owner, e.g. "node0.udma0",
+ *    complete "X" events) and network fault / retransmission instants
+ *    fed by the NI ("node3.net" tracks). Timestamps are simulated
+ *    microseconds (ticksToUs).
+ *
+ * The two domains share one file but not one clock; Perfetto shows
+ * them as separate processes, which is exactly the right mental model
+ * (see DESIGN.md §12).
+ *
+ * Thread-safety contract: workerSlice is lock-free — each shard
+ * appends to its own preallocated row, mirroring the engine's
+ * shard-private ownership. simInstant may be called from any worker
+ * (fault events are rare) and takes a mutex. addSpanTracks and
+ * write/writeFile are post-run, single-threaded.
+ *
+ * A process-global instance pointer (setGlobal) lets the NI emit
+ * sim-domain instants without plumbing a sink reference through every
+ * layer — the same one-experiment-per-process rationale as the trace
+ * and span facilities.
+ */
+
+#ifndef SHRIMP_SIM_TRACE_SINK_HH
+#define SHRIMP_SIM_TRACE_SINK_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace shrimp::sim
+{
+
+class TraceSink
+{
+  public:
+    /** @param shards Number of wall-clock worker tracks (tid 0..N-1). */
+    explicit TraceSink(unsigned shards);
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    unsigned shards() const { return unsigned(rows_.size()); }
+
+    /**
+     * One wall-clock slice on shard @p shard's track (B/E pair in the
+     * output). @p begin_ns / @p end_ns are profiler-relative host
+     * nanoseconds, non-decreasing per shard. Lock-free per shard;
+     * silently counted as dropped past the per-shard cap.
+     */
+    void workerSlice(unsigned shard, const char *name,
+                     std::uint64_t begin_ns, std::uint64_t end_ns);
+
+    /**
+     * One sim-time instant on the named track (e.g. "node2.net"),
+     * with up to two small numeric args. Mutex-guarded; intended for
+     * rare events (fault decisions, retransmit timeouts).
+     */
+    void simInstant(const std::string &track, const char *name, Tick at,
+                    const char *k0 = nullptr, std::uint64_t v0 = 0,
+                    const char *k1 = nullptr, std::uint64_t v1 = 0);
+
+    /**
+     * One sim-time complete ("X") slice on the named track — used for
+     * transfer spans. @p end must be >= @p start.
+     */
+    void simSlice(const std::string &track, const char *name, Tick start,
+                  Tick end, const char *k0 = nullptr, std::uint64_t v0 = 0,
+                  const char *k1 = nullptr, std::uint64_t v1 = 0);
+
+    /**
+     * Turn every retained span in span::registry() into an "X" slice
+     * on a per-owner sim-time track (category "span", args id/bytes,
+     * name = terminal outcome). Call after the run, before write().
+     */
+    void addSpanTracks();
+
+    /** Total events collected so far (wall slices count as two). */
+    std::uint64_t eventCount() const;
+
+    /** Wall slices discarded because a shard row hit its cap. */
+    std::uint64_t droppedSlices() const;
+
+    /** Write the complete trace-event JSON document. */
+    void write(std::ostream &os) const;
+
+    /** write() to @p path; false (with a stderr note) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    // ----------------------------------------- global sim-domain hook
+    /** The installed process-global sink (nullptr: tracing off). */
+    static TraceSink *global()
+    {
+        return global_.load(std::memory_order_acquire);
+    }
+
+    /** Install/remove the process-global sink (nullptr to remove). */
+    static void setGlobal(TraceSink *sink)
+    {
+        global_.store(sink, std::memory_order_release);
+    }
+
+  private:
+    struct WallSlice
+    {
+        const char *name;
+        std::uint64_t beginNs;
+        std::uint64_t endNs;
+    };
+
+    struct Row
+    {
+        std::vector<WallSlice> slices;
+        std::uint64_t dropped = 0;
+    };
+
+    struct SimEvent
+    {
+        std::string track;
+        const char *name;
+        Tick start;
+        Tick end;     ///< == start for instants
+        bool instant;
+        const char *k0;
+        std::uint64_t v0;
+        const char *k1;
+        std::uint64_t v1;
+    };
+
+    /** Per-shard wall-slice cap; keeps a runaway run bounded (~24 MB
+     *  of slice records per shard) while never truncating the window
+     *  counts any realistic bench produces. */
+    static constexpr std::size_t maxSlicesPerShard = 1u << 20;
+
+    std::vector<Row> rows_;
+    mutable std::mutex simMu_;
+    std::vector<SimEvent> simEvents_;
+
+    inline static std::atomic<TraceSink *> global_{nullptr};
+};
+
+} // namespace shrimp::sim
+
+#endif // SHRIMP_SIM_TRACE_SINK_HH

@@ -6,6 +6,7 @@
 
 #include "core/system.hh"
 #include "msg/channel.hh"
+#include "sim/profiler.hh"
 
 namespace shrimp::workload
 {
@@ -49,6 +50,9 @@ runRing(const RingConfig &cfg)
     scfg.faults = cfg.faults;
     scfg.faults.specified = true;
     System sys(scfg);
+
+    if (cfg.profiler && sys.engine())
+        sys.engine()->setProfiler(cfg.profiler);
 
     const unsigned nodes = cfg.nodes;
     std::vector<msg::ChannelRendezvous> rv(nodes);
@@ -107,10 +111,14 @@ runRing(const RingConfig &cfg)
     sys.runSetup([&] { return ready == 2 * nodes; }, cfg.limit);
 
     // Phase 2: the timed, parallel data phase.
+    if (cfg.profiler)
+        cfg.profiler->beginRun();
     auto wall0 = std::chrono::steady_clock::now();
     sys.runUntilAllDone(cfg.limit);
     sys.run(cfg.limit); // drain trailing credit/delivery events
     auto wall1 = std::chrono::steady_clock::now();
+    if (cfg.profiler)
+        cfg.profiler->endRun();
 
     RingResult res;
     res.hostSec =
@@ -192,6 +200,8 @@ runRing(const RingConfig &cfg)
         res.aggregateMbS += cfg.records * double(cfg.recordBytes)
                             / us * 1e6 / (1 << 20);
     }
+    if (cfg.onSystemDone)
+        cfg.onSystemDone(sys);
     return res;
 }
 

@@ -23,11 +23,22 @@
 #define SHRIMP_WORKLOAD_RING_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "shrimp/fault.hh"
 #include "sim/types.hh"
+
+namespace shrimp::core
+{
+class System;
+} // namespace shrimp::core
+
+namespace shrimp::sim
+{
+class ShardProfiler;
+} // namespace shrimp::sim
 
 namespace shrimp::workload
 {
@@ -52,6 +63,19 @@ struct RingConfig
      * surrounding main saw `--faults=` or SHRIMP_FAULTS.
      */
     net::FaultConfig faults;
+    /**
+     * Optional time-budget profiler: attached to the sharded engine
+     * (no-op in legacy mode) and begun/ended around the timed data
+     * phase, so setup never pollutes the budget.
+     */
+    sim::ShardProfiler *profiler = nullptr;
+    /**
+     * Called with the live System after the run's counters are
+     * collected, just before it is destroyed — the hook benches use
+     * to capture per-component stats (the System does not survive
+     * runRing's return).
+     */
+    std::function<void(core::System &)> onSystemDone;
 };
 
 /** What one run produced (simulated time plus host wall time). */

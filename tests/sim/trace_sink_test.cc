@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the Perfetto trace-event exporter: the document must
+ * parse as JSON, every wall-clock B has a matching E on the same
+ * track with non-decreasing timestamps, sim-domain events land on
+ * their own pids with the right phase markers, and span tracks mirror
+ * the registry's retained spans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../support/mini_json.hh"
+#include "sim/span.hh"
+#include "sim/trace_sink.hh"
+
+using namespace shrimp;
+using namespace shrimp::sim;
+
+namespace
+{
+
+/** Parse the sink's output, failing the test on malformed JSON. */
+minijson::Value
+parseTrace(const TraceSink &sink)
+{
+    std::ostringstream os;
+    sink.write(os);
+    minijson::Value doc;
+    std::string err;
+    EXPECT_TRUE(minijson::parse(os.str(), doc, &err)) << err;
+    return doc;
+}
+
+const minijson::Value &
+events(const minijson::Value &doc)
+{
+    const minijson::Value *ev = doc.find("traceEvents");
+    EXPECT_NE(ev, nullptr);
+    EXPECT_TRUE(ev->isArray());
+    return *ev;
+}
+
+double
+num(const minijson::Value &ev, const char *key)
+{
+    const minijson::Value *v = ev.find(key);
+    return (v && v->isNumber()) ? v->number : -1;
+}
+
+std::string
+str(const minijson::Value &ev, const char *key)
+{
+    const minijson::Value *v = ev.find(key);
+    return (v && v->isString()) ? v->str : std::string();
+}
+
+class TraceSinkTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { span::registry().clear(); }
+    void TearDown() override
+    {
+        span::registry().clear();
+        TraceSink::setGlobal(nullptr);
+    }
+};
+
+} // namespace
+
+TEST_F(TraceSinkTest, WallSlicesBalanceAndStayMonotonic)
+{
+    TraceSink sink(2);
+    sink.workerSlice(0, "execute", 100, 250);
+    sink.workerSlice(0, "drain", 250, 300);
+    sink.workerSlice(1, "idle", 120, 180);
+    EXPECT_EQ(sink.eventCount(), 6u); // three B/E pairs
+    EXPECT_EQ(sink.droppedSlices(), 0u);
+
+    minijson::Value doc = parseTrace(sink);
+    std::map<std::pair<long, long>, long> depth;
+    std::map<std::pair<long, long>, double> last;
+    long pairs = 0;
+    for (const auto &ev : events(doc).array) {
+        std::string ph = str(ev, "ph");
+        if (ph != "B" && ph != "E")
+            continue;
+        auto track = std::make_pair(long(num(ev, "pid")),
+                                    long(num(ev, "tid")));
+        double ts = num(ev, "ts");
+        EXPECT_GE(ts, 0.0);
+        auto it = last.find(track);
+        if (it != last.end()) {
+            EXPECT_GE(ts, it->second) << "ts went backwards";
+        }
+        last[track] = ts;
+        long &d = depth[track];
+        if (ph == "B") {
+            ++d;
+        } else {
+            --d;
+            EXPECT_GE(d, 0) << "E without B";
+            ++pairs;
+        }
+        EXPECT_EQ(str(ev, "cat"), "worker");
+    }
+    EXPECT_EQ(pairs, 3);
+    for (const auto &[track, d] : depth)
+        EXPECT_EQ(d, 0) << "unclosed B on a track";
+}
+
+TEST_F(TraceSinkTest, MetadataNamesEveryTrack)
+{
+    TraceSink sink(2);
+    sink.workerSlice(0, "execute", 0, 10);
+    sink.simInstant("node0.net", "drop", 1000, "dst", 1, "seq", 7);
+
+    minijson::Value doc = parseTrace(sink);
+    std::vector<std::string> processes;
+    std::vector<std::string> threads;
+    for (const auto &ev : events(doc).array) {
+        if (str(ev, "ph") != "M")
+            continue;
+        const minijson::Value *arg = ev.path("args.name");
+        ASSERT_NE(arg, nullptr);
+        if (str(ev, "name") == "process_name")
+            processes.push_back(arg->str);
+        else if (str(ev, "name") == "thread_name")
+            threads.push_back(arg->str);
+    }
+    EXPECT_EQ(processes.size(), 3u); // wall, span, net clock domains
+    EXPECT_NE(std::find(threads.begin(), threads.end(), "shard0"),
+              threads.end());
+    EXPECT_NE(std::find(threads.begin(), threads.end(), "shard1"),
+              threads.end());
+    EXPECT_NE(std::find(threads.begin(), threads.end(), "node0.net"),
+              threads.end());
+}
+
+TEST_F(TraceSinkTest, SimDomainsGetTheirOwnPids)
+{
+    TraceSink sink(1);
+    sink.workerSlice(0, "execute", 0, 10);
+    sink.simSlice("node0.udma0", "completed", 1000, 5000, "id", 1,
+                  "bytes", 4096);
+    sink.simInstant("node1.net", "retransmit", 2500, "dst", 0, "seq",
+                    3);
+
+    minijson::Value doc = parseTrace(sink);
+    std::map<std::string, long> pidOf;
+    for (const auto &ev : events(doc).array) {
+        std::string ph = str(ev, "ph");
+        if (ph == "M")
+            continue;
+        pidOf[ph] = long(num(ev, "pid"));
+        if (ph == "X") {
+            EXPECT_GE(num(ev, "dur"), 0.0);
+            EXPECT_EQ(str(ev, "cat"), "span");
+        }
+        if (ph == "i") {
+            EXPECT_EQ(str(ev, "s"), "t") << "instant not thread-scoped";
+            EXPECT_EQ(str(ev, "cat"), "net");
+            const minijson::Value *seq = ev.path("args.seq");
+            ASSERT_NE(seq, nullptr);
+            EXPECT_EQ(seq->number, 3.0);
+        }
+    }
+    // Three distinct clock domains: wall B/E, span X, net instants.
+    ASSERT_EQ(pidOf.count("B"), 1u);
+    ASSERT_EQ(pidOf.count("X"), 1u);
+    ASSERT_EQ(pidOf.count("i"), 1u);
+    EXPECT_NE(pidOf["B"], pidOf["X"]);
+    EXPECT_NE(pidOf["X"], pidOf["i"]);
+    EXPECT_NE(pidOf["B"], pidOf["i"]);
+}
+
+TEST_F(TraceSinkTest, SpanTracksMirrorTheRegistry)
+{
+    auto id0 = span::registry().open(100, "node0.udma0", 4096);
+    span::registry().start(200, id0, true);
+    span::registry().close(900, id0, span::Outcome::Completed);
+    auto id1 = span::registry().open(150, "node1.udma0", 1024);
+    span::registry().close(300, id1, span::Outcome::Inval);
+
+    TraceSink sink(1);
+    sink.addSpanTracks();
+
+    minijson::Value doc = parseTrace(sink);
+    unsigned slices = 0;
+    std::vector<std::string> names;
+    for (const auto &ev : events(doc).array) {
+        if (str(ev, "ph") != "X")
+            continue;
+        ++slices;
+        names.push_back(str(ev, "name"));
+        const minijson::Value *bytes = ev.path("args.bytes");
+        ASSERT_NE(bytes, nullptr);
+        EXPECT_GT(bytes->number, 0.0);
+    }
+    EXPECT_EQ(slices, 2u);
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        span::outcomeName(span::Outcome::Completed)),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        span::outcomeName(span::Outcome::Inval)),
+              names.end());
+}
+
+TEST_F(TraceSinkTest, GlobalHookInstallAndRemove)
+{
+    EXPECT_EQ(TraceSink::global(), nullptr);
+    TraceSink sink(1);
+    TraceSink::setGlobal(&sink);
+    EXPECT_EQ(TraceSink::global(), &sink);
+    TraceSink::setGlobal(nullptr);
+    EXPECT_EQ(TraceSink::global(), nullptr);
+}
+
+TEST_F(TraceSinkTest, OutOfRangeShardIsIgnored)
+{
+    TraceSink sink(1);
+    sink.workerSlice(5, "execute", 0, 10); // no such track
+    EXPECT_EQ(sink.eventCount(), 0u);
+    // Still a valid (metadata-only) document.
+    parseTrace(sink);
+}

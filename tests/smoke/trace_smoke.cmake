@@ -1,0 +1,61 @@
+# Smoke test run via `cmake -P`: execute the multinode benchmark with
+# --profile= and validate both artifacts — the Perfetto trace must
+# pass the structural checker and the stats JSON must carry the
+# profile time-budget block alongside the usual counters.
+#
+# Required -D variables:
+#   BENCH          - multinode_traffic executable
+#   TRACE_VALIDATOR - trace_validate executable
+#   JSON_VALIDATOR - json_validate executable
+#   TRACE          - path for the trace-event JSON
+#   STATS          - path for the stats JSON
+
+foreach(var BENCH TRACE_VALIDATOR JSON_VALIDATOR TRACE STATS)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "trace_smoke.cmake: ${var} not set")
+    endif()
+endforeach()
+
+file(REMOVE "${TRACE}" "${STATS}")
+
+execute_process(
+    COMMAND "${BENCH}" --nodes=8 --shards=2 --records=8
+        "--profile=${TRACE}" "--stats-json=${STATS}"
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace_smoke.cmake: ${BENCH} exited with ${bench_rc}")
+endif()
+
+foreach(artifact TRACE STATS)
+    if(NOT EXISTS "${${artifact}}")
+        message(FATAL_ERROR
+            "trace_smoke.cmake: ${BENCH} did not write ${${artifact}}")
+    endif()
+endforeach()
+
+# Structural validation: balanced B/E per track, monotonic wall
+# timestamps, labelled tracks, and a sensible minimum event count
+# (8 nodes / 2 shards produces hundreds of window slices).
+execute_process(
+    COMMAND "${TRACE_VALIDATOR}" "${TRACE}" --min-events=100
+    RESULT_VARIABLE trace_rc)
+if(NOT trace_rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace_smoke.cmake: ${TRACE} failed trace validation")
+endif()
+
+# The bench JSON must carry the same budget machine-readably.
+execute_process(
+    COMMAND "${JSON_VALIDATOR}" "${STATS}"
+        profile.accounted_frac
+        profile.totals_ns.execute
+        profile.per_shard
+        counters.transfers_started
+        histograms.latency_us.buckets
+    RESULT_VARIABLE stats_rc)
+if(NOT stats_rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace_smoke.cmake: ${STATS} failed validation")
+endif()

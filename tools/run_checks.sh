@@ -16,6 +16,8 @@
 #   SHRIMP_SKIP_TSAN=1           skip the ThreadSanitizer suite
 #   SHRIMP_SKIP_MULTINODE=1      skip the sharded determinism +
 #                                speedup gate
+#   SHRIMP_SKIP_PROFILE=1        skip the profiled-trace gate (trace
+#                                validation + <= 5% profiler overhead)
 
 set -euo pipefail
 
@@ -185,6 +187,55 @@ else
         --stats-json="${perf_dir}/BENCH_multinode.json" \
         --check-against="${repo_root}/BENCH_multinode.json" \
         --tolerance=0.20
+fi
+
+echo
+echo "== profiled-trace gate (Release: trace validity + overhead) =="
+if [ "${SHRIMP_SKIP_PROFILE:-0}" = "1" ]; then
+    echo "SHRIMP_SKIP_PROFILE=1; skipping"
+else
+    perf_dir="${build_dir}-selfperf"
+    cmake -B "${perf_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release > /dev/null
+    cmake --build "${perf_dir}" -j "$(nproc)" \
+        --target multinode_traffic trace_validate > /dev/null
+
+    # Best-of-two per mode damps scheduler noise; the profiler's cost
+    # per window is a handful of clock reads, so the profiled run must
+    # stay within 5% of the plain one.
+    best_wall() {
+        local profile_arg="$1" out="$2" best=""
+        for _ in 1 2; do
+            "${perf_dir}/bench/multinode_traffic" \
+                --nodes=16 --shards=4 --records=16 \
+                ${profile_arg} "--stats-json=${out}" > /dev/null
+            local w
+            w="$(grep -o '"wall_s_shards": [0-9.e-]*' "${out}" \
+                | awk '{print $2}')"
+            if [ -z "${best}" ] \
+                || awk -v a="${w}" -v b="${best}" \
+                    'BEGIN { exit !(a < b) }'; then
+                best="${w}"
+            fi
+        done
+        echo "${best}"
+    }
+
+    plain_wall="$(best_wall "" "${perf_dir}/BENCH_profile_off.json")"
+    prof_wall="$(best_wall "--profile=${perf_dir}/trace.json" \
+        "${perf_dir}/BENCH_profile_on.json")"
+
+    "${perf_dir}/tools/trace_validate" "${perf_dir}/trace.json" \
+        --min-events=100
+
+    echo "profiled-trace gate: wall ${plain_wall}s plain vs" \
+        "${prof_wall}s profiled"
+    if ! awk -v p="${plain_wall}" -v q="${prof_wall}" \
+            'BEGIN { exit !(q <= p * 1.05) }'; then
+        echo "PROFILE REGRESSION: profiling overhead exceeds 5%" \
+            "(${plain_wall}s -> ${prof_wall}s)"
+        exit 1
+    fi
 fi
 
 echo

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Structural validator for the Perfetto trace-event JSON emitted by
+ * sim::TraceSink (--profile=FILE). Used by the run_checks.sh profile
+ * gate and the trace_export_smoke ctest, so a malformed trace fails
+ * in CI instead of silently refusing to load in ui.perfetto.dev.
+ *
+ *   trace_validate <trace.json> [--min-events=N]
+ *
+ * Checks:
+ *   - the file parses and has a non-empty "traceEvents" array;
+ *   - every event carries a known "ph" (B, E, X, i, M);
+ *   - B/E events balance per (pid, tid) track — depth never goes
+ *     negative and every begin is eventually ended;
+ *   - wall-clock timestamps are monotonically non-decreasing within
+ *     each B/E track (TraceSink emits per-shard slices in order);
+ *   - X events have a non-negative "dur", i events are marked
+ *     thread-scoped (s == "t"), and every timestamp is >= 0;
+ *   - every pid seen has a process_name metadata record and every
+ *     (pid, tid) a thread_name record, so tracks are labelled.
+ *
+ * Exit status: 0 = valid; 1 = structural violation or unreadable;
+ * 2 = usage error.
+ */
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "../tests/support/mini_json.hh"
+
+namespace
+{
+
+int failures = 0;
+
+void
+violation(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "trace_validate: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+    ++failures;
+}
+
+double
+numberOr(const minijson::Value &ev, const char *key, double fallback)
+{
+    const minijson::Value *v = ev.find(key);
+    return (v && v->isNumber()) ? v->number : fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    long min_events = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--min-events=", 13) == 0) {
+            min_events = std::strtol(argv[i] + 13, nullptr, 10);
+        } else if (!path) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "usage: trace_validate <trace.json> "
+                                 "[--min-events=N]\n");
+            return 2;
+        }
+    }
+    if (!path) {
+        std::fprintf(stderr, "usage: trace_validate <trace.json> "
+                             "[--min-events=N]\n");
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "trace_validate: cannot read %s\n", path);
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    minijson::Value doc;
+    std::string err;
+    if (!minijson::parse(ss.str(), doc, &err)) {
+        std::fprintf(stderr, "trace_validate: %s: %s\n", path,
+                     err.c_str());
+        return 1;
+    }
+
+    const minijson::Value *events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr,
+                     "trace_validate: %s: no traceEvents array\n",
+                     path);
+        return 1;
+    }
+
+    using Track = std::pair<long, long>; // (pid, tid)
+    std::map<Track, long> depth;         // open B count per track
+    std::map<Track, double> lastTs;      // last B/E timestamp seen
+    std::set<long> pidsSeen;
+    std::set<Track> tracksSeen;
+    std::set<long> pidsNamed;
+    std::set<Track> tracksNamed;
+    long nPairs = 0, nComplete = 0, nInstant = 0, nMeta = 0;
+
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const minijson::Value &ev = events->array[i];
+        if (!ev.isObject()) {
+            violation("event %zu is not an object", i);
+            continue;
+        }
+        const minijson::Value *ph = ev.find("ph");
+        if (!ph || !ph->isString() || ph->str.size() != 1) {
+            violation("event %zu has no single-char ph", i);
+            continue;
+        }
+        const char kind = ph->str[0];
+        const long pid = long(numberOr(ev, "pid", -1));
+        const long tid = long(numberOr(ev, "tid", -1));
+
+        if (kind == 'M') {
+            ++nMeta;
+            const minijson::Value *name = ev.find("name");
+            const minijson::Value *arg = ev.path("args.name");
+            if (!name || !name->isString() || !arg
+                || !arg->isString()) {
+                violation("metadata event %zu lacks args.name", i);
+                continue;
+            }
+            if (name->str == "process_name")
+                pidsNamed.insert(pid);
+            else if (name->str == "thread_name")
+                tracksNamed.insert({pid, tid});
+            else
+                violation("event %zu: unknown metadata '%s'", i,
+                          name->str.c_str());
+            continue;
+        }
+
+        const double ts = numberOr(ev, "ts", -1);
+        if (pid < 0 || tid < 0 || ts < 0) {
+            violation("event %zu (%c) lacks pid/tid/ts", i, kind);
+            continue;
+        }
+        pidsSeen.insert(pid);
+        tracksSeen.insert({pid, tid});
+
+        switch (kind) {
+          case 'B':
+          case 'E': {
+            Track tr{pid, tid};
+            auto it = lastTs.find(tr);
+            if (it != lastTs.end() && ts < it->second)
+                violation("event %zu: ts %.3f goes backwards on "
+                          "track %ld/%ld (last %.3f)",
+                          i, ts, pid, tid, it->second);
+            lastTs[tr] = ts;
+            long &d = depth[tr];
+            if (kind == 'B') {
+                ++d;
+            } else {
+                if (--d < 0) {
+                    violation("event %zu: E without B on track "
+                              "%ld/%ld",
+                              i, pid, tid);
+                    d = 0;
+                } else {
+                    ++nPairs;
+                }
+            }
+            break;
+          }
+          case 'X': {
+            ++nComplete;
+            const minijson::Value *dur = ev.find("dur");
+            if (!dur || !dur->isNumber() || dur->number < 0)
+                violation("event %zu: X without non-negative dur", i);
+            break;
+          }
+          case 'i': {
+            ++nInstant;
+            const minijson::Value *s = ev.find("s");
+            if (!s || !s->isString() || s->str != "t")
+                violation("event %zu: instant not thread-scoped", i);
+            break;
+          }
+          default:
+            violation("event %zu: unknown ph '%c'", i, kind);
+        }
+    }
+
+    for (const auto &[track, d] : depth) {
+        if (d != 0)
+            violation("track %ld/%ld ends with %ld unclosed B "
+                      "slice(s)",
+                      track.first, track.second, d);
+    }
+    for (long pid : pidsSeen) {
+        if (!pidsNamed.count(pid))
+            violation("pid %ld has events but no process_name", pid);
+    }
+    for (const auto &track : tracksSeen) {
+        if (!tracksNamed.count(track))
+            violation("track %ld/%ld has events but no thread_name",
+                      track.first, track.second);
+    }
+
+    const long total = nPairs + nComplete + nInstant;
+    if (total < min_events)
+        violation("only %ld payload events (need >= %ld)", total,
+                  min_events);
+
+    if (failures) {
+        std::fprintf(stderr,
+                     "trace_validate: %s: %d violation(s)\n", path,
+                     failures);
+        return 1;
+    }
+    std::printf("trace_validate: %s ok — %ld wall slices, %ld sim "
+                "slices, %ld instants, %ld metadata records across "
+                "%zu tracks\n",
+                path, nPairs, nComplete, nInstant, nMeta,
+                tracksSeen.size());
+    return 0;
+}

@@ -55,6 +55,7 @@
 #include "check/monitor.hh"
 #include "core/system.hh"
 #include "shrimp/fault.hh"
+#include "sim/flight_recorder.hh"
 #include "sim/json.hh"
 #include "sim/span.hh"
 #include "sim/trace.hh"
@@ -710,6 +711,9 @@ runNetCheck(const Options &opt)
     rc.shards = 1;
     rc.limit = Tick(5) * tickSec;
     rc.faults = fc;
+    // Start the flight recorder from a clean slate so a violation dump
+    // below shows only this run's tail of simulated events.
+    sim::FlightRecorder::clearAll();
     workload::RingResult r = workload::runRing(rc);
 
     if (!opt.quiet) {
@@ -738,6 +742,9 @@ runNetCheck(const Options &opt)
                   << " data chunks; retransmission "
                   << (fc.disableRetransmit ? "disabled" : "enabled")
                   << ")\n";
+        // Post-mortem: the queues died with the System inside runRing,
+        // so this prints the graveyard snapshots of their final events.
+        sim::FlightRecorder::dumpAll(std::cout);
         return 1;
     }
     std::cout << "net-check: all " << r.messagesDelivered
