@@ -220,6 +220,7 @@ class EventCallback
     alignas(std::max_align_t) unsigned char buf_[inlineBytes];
     const Ops *ops_ = nullptr;
 
+    // shrimp-lint: shard-safe(monotonic diagnostics counter, relaxed atomic, never read by sim logic)
     inline static std::atomic<std::uint64_t> heapFallbacks_{0};
 };
 

@@ -31,6 +31,7 @@ struct Registry
 Registry &
 registry()
 {
+    // shrimp-lint: shard-safe(process-global live-recorder list; every access takes r.mu)
     static Registry r;
     return r;
 }

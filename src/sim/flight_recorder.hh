@@ -124,7 +124,9 @@ class FlightRecorder
     std::array<Entry, capacity> ring_{};
     std::uint64_t head_ = 0;
 
+    // shrimp-lint: shard-safe(process-wide enable flags, atomic, never feed sim state or digests)
     inline static std::atomic<bool> enabled_{true};
+    // shrimp-lint: shard-safe(process-wide enable flags, atomic, never feed sim state or digests)
     inline static std::atomic<bool> dumpOnPanic_{false};
 };
 

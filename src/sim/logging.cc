@@ -10,6 +10,7 @@ namespace shrimp
 
 namespace
 {
+// shrimp-lint: shard-safe(set once at startup from the CLI, read-only while workers run)
 bool verboseFlag = false;
 }
 

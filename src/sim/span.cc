@@ -32,6 +32,7 @@ outcomeName(Outcome o)
 Registry &
 Registry::instance()
 {
+    // shrimp-lint: shard-safe(process-global registry by design; every mutator takes mu_)
     static Registry r;
     return r;
 }

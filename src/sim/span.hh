@@ -153,6 +153,9 @@ class Registry
     mutable std::mutex mu_;
     std::uint64_t nextId_ = 1;
     Summary summary_;
+    // Keyed lookups and size() only — never iterated (shrimp_lint D3:
+    // hash order must not reach dumpJson; retained_ is the ordered
+    // view that does).
     std::unordered_map<std::uint64_t, Span> active_;
     std::deque<Span> retained_;
     std::size_t retainLimit_ = 256;

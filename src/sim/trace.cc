@@ -5,7 +5,9 @@ namespace shrimp::trace
 
 namespace
 {
+// shrimp-lint: shard-safe(configured once before the run starts, read-only while workers run)
 unsigned gEnabledMask = 0;
+// shrimp-lint: shard-safe(installed once before the run starts; sharded runs coerce tracing off)
 std::ostream *sinkPtr = nullptr;
 } // namespace
 

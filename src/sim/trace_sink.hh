@@ -153,6 +153,7 @@ class TraceSink
     mutable std::mutex simMu_;
     std::vector<SimEvent> simEvents_;
 
+    // shrimp-lint: shard-safe(acquire/release hook pointer, installed before workers start; sink serializes internally)
     inline static std::atomic<TraceSink *> global_{nullptr};
 };
 

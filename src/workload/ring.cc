@@ -113,9 +113,11 @@ runRing(const RingConfig &cfg)
     // Phase 2: the timed, parallel data phase.
     if (cfg.profiler)
         cfg.profiler->beginRun();
+    // shrimp-lint: allow(D1) host wall time for the speedup report only; never feeds sim state
     auto wall0 = std::chrono::steady_clock::now();
     sys.runUntilAllDone(cfg.limit);
     sys.run(cfg.limit); // drain trailing credit/delivery events
+    // shrimp-lint: allow(D1) host wall time for the speedup report only; never feeds sim state
     auto wall1 = std::chrono::steady_clock::now();
     if (cfg.profiler)
         cfg.profiler->endRun();

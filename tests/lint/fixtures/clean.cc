@@ -1,0 +1,35 @@
+// shrimp_lint fixture: deterministic, shard-safe code — zero
+// findings under every rule. Never compiled.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct SplitMix64Like
+{
+    std::uint64_t state = 0x5EED5EEDULL;
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        return z ^ (z >> 31);
+    }
+};
+
+struct Node
+{
+    std::map<std::uint64_t, std::uint64_t> ordered;
+    std::vector<std::uint64_t> log;
+
+    std::uint64_t
+    digest()
+    {
+        std::uint64_t d = 0xcbf29ce484222325ULL;
+        for (const auto &kv : ordered)
+            d = (d ^ kv.second) * 0x100000001b3ULL;
+        for (std::uint64_t v : log)
+            d = (d ^ v) * 0x100000001b3ULL;
+        return d;
+    }
+};

@@ -1,0 +1,40 @@
+// shrimp_lint fixture: D1 wall-clock reads. Never compiled; the
+// lint_test harness asserts the exact (rule, line) set found here.
+#include <chrono>
+#include <ctime>
+
+void
+steadyRead()
+{
+    auto t = std::chrono::steady_clock::now(); // D1 @ line 9
+    (void)t;
+}
+
+void
+systemRead()
+{
+    auto t = std::chrono::system_clock::now(); // D1 @ line 16
+    (void)t;
+}
+
+long
+cTimeRead()
+{
+    return time(nullptr); // D1 @ line 23
+}
+
+// shrimp-lint: allow(D1) fixture: a justified, annotated wall-clock read
+void
+annotatedRead()
+{
+    // The annotation above covers the line after it, not this one:
+    // the suppressed site needs its own directive.
+}
+
+void
+annotatedSite()
+{
+    // shrimp-lint: allow(D1) fixture: annotated and therefore clean
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+}

@@ -1,0 +1,43 @@
+// shrimp_lint fixture: D2 unseeded randomness. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int
+libcRand()
+{
+    return rand(); // D2 @ line 8
+}
+
+void
+hardwareEntropy()
+{
+    std::random_device rd; // D2 @ line 14
+    (void)rd;
+}
+
+void
+defaultConstructedEngine()
+{
+    std::mt19937 gen; // D2 @ line 21
+    (void)gen;
+}
+
+void
+opaqueSeedArgument(unsigned s)
+{
+    std::mt19937 gen(s); // D2 @ line 28: nothing names a seed
+    (void)gen;
+}
+
+void
+seededEngine(unsigned runSeed)
+{
+    std::mt19937 gen(runSeed); // clean: argument names the seed
+    (void)gen;
+}
+
+unsigned
+typeMentionOnly(std::mt19937 &gen)
+{
+    return unsigned(gen()); // clean: engine passed in, not created
+}

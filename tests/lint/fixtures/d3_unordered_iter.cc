@@ -1,0 +1,55 @@
+// shrimp_lint fixture: D3 unordered-container iteration. Only
+// checked when this file is treated as digest-affecting
+// (--digest-dir=.). Never compiled.
+#include <map>
+#include <unordered_map>
+
+struct Table
+{
+    std::unordered_map<int, int> histo_;
+    std::map<int, int> ordered_;
+
+    int
+    rangeFor()
+    {
+        int s = 0;
+        for (const auto &kv : histo_) // D3 @ line 16
+            s += kv.second;
+        return s;
+    }
+
+    int
+    annotatedRangeFor()
+    {
+        int s = 0;
+        // shrimp-lint: order-insensitive(sum is commutative)
+        for (const auto &kv : histo_)
+            s += kv.second;
+        return s;
+    }
+
+    int
+    iteratorLoop()
+    {
+        int s = 0;
+        for (auto it = histo_.begin(); it != histo_.end(); ++it) // D3 @ line 35
+            s += it->second;
+        return s;
+    }
+
+    int
+    orderedIsFine()
+    {
+        int s = 0;
+        for (const auto &kv : ordered_) // clean: std::map iterates sorted
+            s += kv.second;
+        return s;
+    }
+
+    int
+    lookupIsFine(int k)
+    {
+        auto it = histo_.find(k); // clean: keyed lookup, no iteration
+        return it == histo_.end() ? 0 : it->second;
+    }
+};

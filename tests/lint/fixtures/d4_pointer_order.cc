@@ -1,0 +1,25 @@
+// shrimp_lint fixture: D4 pointer identity feeding hashing or
+// ordering. Never compiled.
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+struct Obj;
+
+std::size_t
+hashPointer(Obj *p)
+{
+    return std::hash<Obj *>{}(p); // D4 @ line 12
+}
+
+std::uint64_t
+pointerAsKey(Obj *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p); // D4 @ line 18
+}
+
+std::size_t
+hashValueIsFine(std::uint64_t id)
+{
+    return std::hash<std::uint64_t>{}(id); // clean: value hash
+}

@@ -1,0 +1,42 @@
+// shrimp_lint fixture: S1 mutable static/global state. Only checked
+// when this file is treated as shard-core code (--state-dir=.).
+// Never compiled.
+
+int gCounter = 0; // S1 @ line 5
+
+static bool gFlag = false; // S1 @ line 7
+
+const int kLimit = 16; // clean: immutable
+
+static const char *kName = "fixture"; // clean: immutable by contract
+
+// shrimp-lint: shard-safe(fixture: every accessor takes the registry mutex)
+int gAnnotated = 0; // clean: annotated
+
+struct Holder
+{
+    static int shared_; // S1 @ line 18
+
+    int instance_ = 0; // clean: per-object state
+
+    static int
+    accessor()
+    {
+        return 0; // clean: static member function, not state
+    }
+};
+
+int
+counterWithStaticLocal()
+{
+    static int calls = 0; // S1 @ line 32
+    return ++calls;
+}
+
+int
+annotatedStaticLocal()
+{
+    // shrimp-lint: shard-safe(fixture: monotonic counter, atomic in real code)
+    static int calls = 0;
+    return ++calls;
+}

@@ -1,0 +1,31 @@
+// shrimp_lint fixture: S2 event-label lifetime. The queue stores the
+// label pointer; anything built from a temporary dangles. Never
+// compiled.
+#include <string>
+
+struct Queue
+{
+    void schedule(long when, const char *name, int fn);
+    void scheduleIn(long delay, const char *name, int fn);
+};
+
+void
+post(Queue &q, const std::string &base, int node)
+{
+    q.schedule(1, "ok.literal", 0); // clean: string literal
+
+    q.schedule(1, base.c_str(), 0); // S2 @ line 17
+
+    q.scheduleIn(2, (base + ".suffix").c_str(), 0); // S2 @ line 19
+
+    q.schedule(3, std::string("tmp").c_str(), 0); // S2 @ line 21
+
+    q.schedule(4, ("node" + std::to_string(node)).c_str(), 0); // S2 @ line 23
+}
+
+void
+staticLabelIsFine(Queue &q)
+{
+    static const char *kLabel = "ok.static";
+    q.schedule(1, kLabel, 0); // clean: static storage duration
+}

@@ -1,0 +1,18 @@
+// shrimp_lint fixture: malformed directives are findings themselves
+// (rule LINT), so suppressions cannot rot. Never compiled.
+
+void
+missingReason()
+{
+    // shrimp-lint: allow(D1)
+    int x = 0; // LINT @ line 7: allow() without a reason
+    (void)x;
+}
+
+void
+unknownRule()
+{
+    // shrimp-lint: allow(D9) there is no rule D9
+    int x = 0; // LINT @ line 15
+    (void)x;
+}

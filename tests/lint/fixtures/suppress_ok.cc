@@ -1,0 +1,11 @@
+// shrimp_lint fixture: a correct inline suppression silences exactly
+// its finding. Never compiled.
+#include <chrono>
+
+void
+justified()
+{
+    // shrimp-lint: allow(D1) fixture: wall time for a report, never sim state
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+}

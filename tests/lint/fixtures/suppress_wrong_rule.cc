@@ -1,0 +1,11 @@
+// shrimp_lint fixture: suppressing the WRONG rule id must not hide
+// the real finding. Never compiled.
+#include <chrono>
+
+void
+mismatched()
+{
+    // shrimp-lint: allow(D2) fixture: names D2 but the site violates D1
+    auto t = std::chrono::steady_clock::now(); // D1 @ line 9 survives
+    (void)t;
+}

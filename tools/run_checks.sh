@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# End-to-end correctness gate: sanitizer build + tests, clang-tidy on
-# changed files (when installed), the invariant model checker — the
-# clean exploration plus the seeded I1/I2 mutations that must produce
-# counterexamples — and a Release-build self-perf smoke that fails
-# loudly if the simulation core regresses >20% against the committed
-# BENCH_selfperf.json baseline.
+# End-to-end correctness gate, organised as named steps: sanitizer
+# build + tests, the shrimp_lint determinism/shard-safety gate (with
+# its injected-violation self-test), clang-tidy on changed files (when
+# installed), the invariant model checker — the clean exploration plus
+# the seeded I1/I2/net mutations that must produce counterexamples —
+# the TSan concurrency suite, a lossy-ring chaos run, and the
+# Release-build perf gates against the committed BENCH baselines.
 #
 # Usage: tools/run_checks.sh [build-dir]
+#        tools/run_checks.sh --list
+#
+#   --list                       print the step names and exit
+#   SHRIMP_ONLY=<step[,step]>    run only the named steps (from
+#                                --list), e.g. SHRIMP_ONLY=lint or
+#                                SHRIMP_ONLY=tsan,chaos. Steps build
+#                                what they need on demand.
 #   SHRIMP_TIDY_BASE=<git-ref>   diff base for clang-tidy (default:
 #                                HEAD; use origin/main on a branch)
 #   SHRIMP_CHECK_DEPTH=<n>       model-check DFS depth (default: 8)
@@ -22,20 +30,122 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build-checks}"
+build_dir="${repo_root}/build-checks"
 depth="${SHRIMP_CHECK_DEPTH:-8}"
 tidy_base="${SHRIMP_TIDY_BASE:-HEAD}"
 
-echo "== configure (ASan+UBSan, -Werror) =="
-cmake -B "${build_dir}" -S "${repo_root}" \
-    -DSHRIMP_SANITIZE=address,undefined \
-    -DSHRIMP_WERROR=ON \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${build_dir}" -j "$(nproc)"
+steps="build lint tidy model-clean model-i1 model-tcache model-net \
+model-net-mutation ctest tsan chaos selfperf multinode profile"
 
-echo
-echo "== clang-tidy (changed files vs ${tidy_base}) =="
-if command -v clang-tidy > /dev/null 2>&1; then
+if [ "${1:-}" = "--list" ]; then
+    for s in ${steps}; do
+        echo "${s}"
+    done
+    exit 0
+fi
+if [ -n "${1:-}" ]; then
+    build_dir="$1"
+fi
+
+# ---------------------------------------------------------- selection
+
+should_run() {
+    local name="$1"
+    if [ -z "${SHRIMP_ONLY:-}" ]; then
+        return 0
+    fi
+    case ",${SHRIMP_ONLY}," in
+      *",${name},"*) return 0 ;;
+      *) return 1 ;;
+    esac
+}
+
+if [ -n "${SHRIMP_ONLY:-}" ]; then
+    for want in $(echo "${SHRIMP_ONLY}" | tr ',' ' '); do
+        case " ${steps} " in
+          *" ${want} "*) ;;
+          *)
+            echo "unknown step '${want}' — tools/run_checks.sh --list" >&2
+            exit 2
+            ;;
+        esac
+    done
+fi
+
+# ------------------------------------------------- on-demand builders
+
+sanitized_built=0
+ensure_sanitized_build() {
+    if [ "${sanitized_built}" = "1" ]; then
+        return
+    fi
+    echo "== configure (ASan+UBSan, -Werror) =="
+    cmake -B "${build_dir}" -S "${repo_root}" \
+        -DSHRIMP_SANITIZE=address,undefined \
+        -DSHRIMP_WERROR=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${build_dir}" -j "$(nproc)"
+    sanitized_built=1
+}
+
+release_configured=0
+ensure_release_target() {
+    # $1..: targets to build in the shared Release dir.
+    perf_dir="${build_dir}-selfperf"
+    if [ "${release_configured}" = "0" ]; then
+        cmake -B "${perf_dir}" -S "${repo_root}" \
+            -DCMAKE_BUILD_TYPE=Release > /dev/null
+        release_configured=1
+    fi
+    cmake --build "${perf_dir}" -j "$(nproc)" --target "$@" > /dev/null
+}
+
+# ---------------------------------------------------------------- lint
+
+step_lint() {
+    echo
+    echo "== shrimp_lint: determinism & shard-safety contract =="
+    ensure_release_target shrimp_lint
+    lint="${perf_dir}/tools/shrimp_lint"
+    "${lint}" --root="${repo_root}" \
+        --baseline="${repo_root}/tools/lint_baseline.json"
+
+    # Self-test: the gate must actually be able to fail. Inject a
+    # wall-clock read into the sharded core and require a D1 report.
+    inject="${perf_dir}/lint_injected"
+    mkdir -p "${inject}/src/sim"
+    {
+        echo '#include <chrono>'
+        echo 'long injected() {'
+        echo '    return std::chrono::steady_clock::now()'
+        echo '        .time_since_epoch().count();'
+        echo '}'
+    } > "${inject}/src/sim/injected_wallclock.cc"
+    if "${lint}" --root="${inject}" src > "${perf_dir}/lint_inject.out" \
+        2>&1
+    then
+        echo "ERROR: shrimp_lint missed an injected steady_clock read"
+        cat "${perf_dir}/lint_inject.out"
+        exit 1
+    fi
+    if ! grep -q "D1" "${perf_dir}/lint_inject.out"; then
+        echo "ERROR: injected wall-clock failed without a D1 report:"
+        cat "${perf_dir}/lint_inject.out"
+        exit 1
+    fi
+    echo "injected violation detected, as expected"
+}
+
+# ---------------------------------------------------------------- tidy
+
+step_tidy() {
+    echo
+    echo "== clang-tidy (changed files vs ${tidy_base}) =="
+    if ! command -v clang-tidy > /dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping lint step"
+        return
+    fi
+    ensure_sanitized_build
     # clang-tidy needs a compilation database.
     if [ ! -f "${build_dir}/compile_commands.json" ]; then
         cmake -B "${build_dir}" -S "${repo_root}" \
@@ -51,78 +161,102 @@ if command -v clang-tidy > /dev/null 2>&1; then
     else
         echo "no changed C++ sources vs ${tidy_base}; skipping"
     fi
-else
-    echo "clang-tidy not installed; skipping lint step"
-fi
+}
 
-echo
-echo "== model check: clean exploration (depth=${depth}) =="
-"${build_dir}/tools/udma_model_check" --depth="${depth}"
+# --------------------------------------------------------- model check
 
-echo
-echo "== model check: seeded I1 mutation must find a counterexample =="
-if "${build_dir}/tools/udma_model_check" --depth=4 \
-        --mutate=no-inval-on-switch > "${build_dir}/mutation.out" 2>&1
-then
-    echo "ERROR: the no-inval-on-switch mutation went undetected"
-    exit 1
-fi
-if ! grep -q "I1" "${build_dir}/mutation.out"; then
-    echo "ERROR: mutation run failed without an I1 counterexample:"
-    cat "${build_dir}/mutation.out"
-    exit 1
-fi
-grep "VIOLATION" "${build_dir}/mutation.out" || true
-echo "counterexample produced, as expected"
+step_model_clean() {
+    echo
+    echo "== model check: clean exploration (depth=${depth}) =="
+    ensure_sanitized_build
+    "${build_dir}/tools/udma_model_check" --depth="${depth}"
+}
 
-echo
-echo "== model check: seeded tcache mutation must find an I2 counterexample =="
-if "${build_dir}/tools/udma_model_check" --depth=4 \
-        --mutate=no-tcache-shootdown > "${build_dir}/tcache_mutation.out" 2>&1
-then
-    echo "ERROR: the no-tcache-shootdown mutation went undetected"
-    exit 1
-fi
-if ! grep -q "stale proxy-translation-cache" \
-        "${build_dir}/tcache_mutation.out"; then
-    echo "ERROR: tcache mutation run failed without the stale-cache I2"
-    echo "counterexample:"
-    cat "${build_dir}/tcache_mutation.out"
-    exit 1
-fi
-echo "counterexample produced, as expected"
+step_model_i1() {
+    echo
+    echo "== model check: seeded I1 mutation must find a counterexample =="
+    ensure_sanitized_build
+    if "${build_dir}/tools/udma_model_check" --depth=4 \
+            --mutate=no-inval-on-switch > "${build_dir}/mutation.out" 2>&1
+    then
+        echo "ERROR: the no-inval-on-switch mutation went undetected"
+        exit 1
+    fi
+    if ! grep -q "I1" "${build_dir}/mutation.out"; then
+        echo "ERROR: mutation run failed without an I1 counterexample:"
+        cat "${build_dir}/mutation.out"
+        exit 1
+    fi
+    grep "VIOLATION" "${build_dir}/mutation.out" || true
+    echo "counterexample produced, as expected"
+}
 
-echo
-echo "== model check: lossy net with retransmission must stay clean =="
-"${build_dir}/tools/udma_model_check" --net=drop=0.2,corrupt=0.1,seed=1
+step_model_tcache() {
+    echo
+    echo "== model check: seeded tcache mutation must find an I2 counterexample =="
+    ensure_sanitized_build
+    if "${build_dir}/tools/udma_model_check" --depth=4 \
+            --mutate=no-tcache-shootdown \
+            > "${build_dir}/tcache_mutation.out" 2>&1
+    then
+        echo "ERROR: the no-tcache-shootdown mutation went undetected"
+        exit 1
+    fi
+    if ! grep -q "stale proxy-translation-cache" \
+            "${build_dir}/tcache_mutation.out"; then
+        echo "ERROR: tcache mutation run failed without the stale-cache I2"
+        echo "counterexample:"
+        cat "${build_dir}/tcache_mutation.out"
+        exit 1
+    fi
+    echo "counterexample produced, as expected"
+}
 
-echo
-echo "== model check: no-retransmit mutation must lose a completion =="
-if "${build_dir}/tools/udma_model_check" \
-        --net=drop=0.2,corrupt=0.1,seed=1 --mutate=no-retransmit \
-        > "${build_dir}/net_mutation.out" 2>&1
-then
-    echo "ERROR: the no-retransmit mutation went undetected"
-    exit 1
-fi
-if ! grep -q "lost completion" "${build_dir}/net_mutation.out"; then
-    echo "ERROR: no-retransmit run failed without a lost-completion"
-    echo "trace:"
-    cat "${build_dir}/net_mutation.out"
-    exit 1
-fi
-grep "VIOLATION" "${build_dir}/net_mutation.out" || true
-echo "counterexample produced, as expected"
+step_model_net() {
+    echo
+    echo "== model check: lossy net with retransmission must stay clean =="
+    ensure_sanitized_build
+    "${build_dir}/tools/udma_model_check" --net=drop=0.2,corrupt=0.1,seed=1
+}
 
-echo
-echo "== ctest (sanitized) =="
-(cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+step_model_net_mutation() {
+    echo
+    echo "== model check: no-retransmit mutation must lose a completion =="
+    ensure_sanitized_build
+    if "${build_dir}/tools/udma_model_check" \
+            --net=drop=0.2,corrupt=0.1,seed=1 --mutate=no-retransmit \
+            > "${build_dir}/net_mutation.out" 2>&1
+    then
+        echo "ERROR: the no-retransmit mutation went undetected"
+        exit 1
+    fi
+    if ! grep -q "lost completion" "${build_dir}/net_mutation.out"; then
+        echo "ERROR: no-retransmit run failed without a lost-completion"
+        echo "trace:"
+        cat "${build_dir}/net_mutation.out"
+        exit 1
+    fi
+    grep "VIOLATION" "${build_dir}/net_mutation.out" || true
+    echo "counterexample produced, as expected"
+}
 
-echo
-echo "== TSan: SPSC mailbox stress + sharded engine + determinism =="
-if [ "${SHRIMP_SKIP_TSAN:-0}" = "1" ]; then
-    echo "SHRIMP_SKIP_TSAN=1; skipping"
-else
+# --------------------------------------------------------------- tests
+
+step_ctest() {
+    echo
+    echo "== ctest (sanitized) =="
+    ensure_sanitized_build
+    (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+}
+
+step_tsan() {
+    echo
+    echo "== TSan: SPSC mailboxes + sharded engine + fault recovery =="
+    if [ "${SHRIMP_SKIP_TSAN:-0}" = "1" ] && [ -z "${SHRIMP_ONLY:-}" ]
+    then
+        echo "SHRIMP_SKIP_TSAN=1; skipping"
+        return
+    fi
     tsan_dir="${build_dir}-tsan"
     cmake -B "${tsan_dir}" -S "${repo_root}" \
         -DSHRIMP_SANITIZE=thread \
@@ -131,34 +265,40 @@ else
     cmake --build "${tsan_dir}" -j "$(nproc)" \
         --target test_sim test_integration > /dev/null
     # The worker threads, barriers, and cross-shard mailboxes are the
-    # only concurrency in the simulator; these filters cover all of it.
+    # only concurrency in the simulator; together with the NI
+    # retransmission machinery running under shards (FaultRecovery*)
+    # these filters cover all of it.
     "${tsan_dir}/tests/test_sim" --gtest_filter='Spsc*:Sharded*'
     "${tsan_dir}/tests/test_integration" \
-        --gtest_filter='ShardDeterminism*'
-fi
+        --gtest_filter='ShardDeterminism*:FaultRecovery*'
+}
 
-echo
-echo "== chaos: lossy 8-node ring under ASan+UBSan =="
-# A high-rate drop/corrupt/duplicate/delay mix on the sanitized build:
-# the retransmit path, duplicate suppression, and checksum rejection
-# all run hot while ASan watches the buffers. multinode_traffic itself
-# exits 1 if the faulty run fails to match its in-process fault-free
-# reference (lost or duplicated records) or if the shard counts
-# disagree.
-"${build_dir}/bench/multinode_traffic" \
-    --nodes=8 --shards=4 --records=32 \
-    --faults=drop=0.10,corrupt=0.05,dup=0.05,delay=0.10,seed=3
+step_chaos() {
+    echo
+    echo "== chaos: lossy 8-node ring under ASan+UBSan =="
+    ensure_sanitized_build
+    # A high-rate drop/corrupt/duplicate/delay mix on the sanitized
+    # build: the retransmit path, duplicate suppression, and checksum
+    # rejection all run hot while ASan watches the buffers.
+    # multinode_traffic itself exits 1 if the faulty run fails to
+    # match its in-process fault-free reference (lost or duplicated
+    # records) or if the shard counts disagree.
+    "${build_dir}/bench/multinode_traffic" \
+        --nodes=8 --shards=4 --records=32 \
+        --faults=drop=0.10,corrupt=0.05,dup=0.05,delay=0.10,seed=3
+}
 
-echo
-echo "== self-perf smoke (Release, vs committed BENCH_selfperf.json) =="
-if [ "${SHRIMP_SKIP_SELFPERF:-0}" = "1" ]; then
-    echo "SHRIMP_SKIP_SELFPERF=1; skipping"
-else
-    perf_dir="${build_dir}-selfperf"
-    cmake -B "${perf_dir}" -S "${repo_root}" \
-        -DCMAKE_BUILD_TYPE=Release > /dev/null
-    cmake --build "${perf_dir}" -j "$(nproc)" \
-        --target selfperf_events > /dev/null
+# ---------------------------------------------------------- perf gates
+
+step_selfperf() {
+    echo
+    echo "== self-perf smoke (Release, vs committed BENCH_selfperf.json) =="
+    if [ "${SHRIMP_SKIP_SELFPERF:-0}" = "1" ] && [ -z "${SHRIMP_ONLY:-}" ]
+    then
+        echo "SHRIMP_SKIP_SELFPERF=1; skipping"
+        return
+    fi
+    ensure_release_target selfperf_events
     # The harness exits 1 and prints SELF-PERF REGRESSION if
     # events/sec drops >20% below the committed baseline; set -e
     # stops the gate right there.
@@ -166,18 +306,17 @@ else
         --stats-json="${perf_dir}/BENCH_selfperf.json" \
         --check-against="${repo_root}/BENCH_selfperf.json" \
         --tolerance=0.20
-fi
+}
 
-echo
-echo "== multinode gate (Release, vs committed BENCH_multinode.json) =="
-if [ "${SHRIMP_SKIP_MULTINODE:-0}" = "1" ]; then
-    echo "SHRIMP_SKIP_MULTINODE=1; skipping"
-else
-    perf_dir="${build_dir}-selfperf"
-    cmake -B "${perf_dir}" -S "${repo_root}" \
-        -DCMAKE_BUILD_TYPE=Release > /dev/null
-    cmake --build "${perf_dir}" -j "$(nproc)" \
-        --target multinode_traffic > /dev/null
+step_multinode() {
+    echo
+    echo "== multinode gate (Release, vs committed BENCH_multinode.json) =="
+    if [ "${SHRIMP_SKIP_MULTINODE:-0}" = "1" ] && [ -z "${SHRIMP_ONLY:-}" ]
+    then
+        echo "SHRIMP_SKIP_MULTINODE=1; skipping"
+        return
+    fi
+    ensure_release_target multinode_traffic
     # Runs the 16-node ring on 1 shard and 4 shards: exits 1 if the
     # two runs are not bit-identical, if the simulated-time metrics
     # drift from the committed baseline, or (on hosts with >= 4
@@ -187,18 +326,17 @@ else
         --stats-json="${perf_dir}/BENCH_multinode.json" \
         --check-against="${repo_root}/BENCH_multinode.json" \
         --tolerance=0.20
-fi
+}
 
-echo
-echo "== profiled-trace gate (Release: trace validity + overhead) =="
-if [ "${SHRIMP_SKIP_PROFILE:-0}" = "1" ]; then
-    echo "SHRIMP_SKIP_PROFILE=1; skipping"
-else
-    perf_dir="${build_dir}-selfperf"
-    cmake -B "${perf_dir}" -S "${repo_root}" \
-        -DCMAKE_BUILD_TYPE=Release > /dev/null
-    cmake --build "${perf_dir}" -j "$(nproc)" \
-        --target multinode_traffic trace_validate > /dev/null
+step_profile() {
+    echo
+    echo "== profiled-trace gate (Release: trace validity + overhead) =="
+    if [ "${SHRIMP_SKIP_PROFILE:-0}" = "1" ] && [ -z "${SHRIMP_ONLY:-}" ]
+    then
+        echo "SHRIMP_SKIP_PROFILE=1; skipping"
+        return
+    fi
+    ensure_release_target multinode_traffic trace_validate
 
     # Best-of-two per mode damps scheduler noise; the profiler's cost
     # per window is a handful of clock reads, so the profiled run must
@@ -236,7 +374,28 @@ else
             "(${plain_wall}s -> ${prof_wall}s)"
         exit 1
     fi
-fi
+}
+
+# ------------------------------------------------------------- driver
+
+should_run build && ensure_sanitized_build
+should_run lint && step_lint
+should_run tidy && step_tidy
+should_run model-clean && step_model_clean
+should_run model-i1 && step_model_i1
+should_run model-tcache && step_model_tcache
+should_run model-net && step_model_net
+should_run model-net-mutation && step_model_net_mutation
+should_run ctest && step_ctest
+should_run tsan && step_tsan
+should_run chaos && step_chaos
+should_run selfperf && step_selfperf
+should_run multinode && step_multinode
+should_run profile && step_profile
 
 echo
-echo "all checks passed"
+if [ -n "${SHRIMP_ONLY:-}" ]; then
+    echo "selected checks passed (SHRIMP_ONLY=${SHRIMP_ONLY})"
+else
+    echo "all checks passed"
+fi
