@@ -1,8 +1,13 @@
 /**
  * @file
- * Traffic patterns on the four-node prototype: every node streams
- * UDMA messages to destinations drawn from a synthetic pattern, and
- * the table shows where the bottleneck sits.
+ * Traffic patterns on the prototype machine (default 4 nodes,
+ * `--nodes=N` to scale): every node streams UDMA messages to
+ * destinations drawn from a synthetic pattern, and the table shows
+ * where the bottleneck sits. `--shards=N|auto` runs each pattern on
+ * the sharded engine — page export and remote mapping happen under
+ * `System::runSetup` (sequential canonical order, the only phase
+ * that reads host state across nodes), so results are bit-identical
+ * to the single-queue run.
  *
  * Expected architecture story (and the reason hotspot collapses):
  * each SHRIMP node's *receive path* is one EISA-class DMA engine at
@@ -12,6 +17,8 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.hh"
@@ -34,10 +41,11 @@ struct PatternResult
 };
 
 PatternResult
-runPattern(const TrafficConfig &tc)
+runPattern(const TrafficConfig &tc, unsigned shards)
 {
     SystemConfig cfg;
     cfg.nodes = tc.nodes;
+    cfg.shards = shards;
     cfg.node.memBytes = 8 << 20;
     cfg.params.quantumUs = 500.0;
     cfg.node.devices.push_back(DeviceConfig{});
@@ -47,6 +55,9 @@ runPattern(const TrafficConfig &tc)
     const unsigned n = tc.nodes;
 
     // Every node exports one landing page per possible sender.
+    // Host-shared, but written only under runSetup (sequential), then
+    // read-only during the parallel data phase — race-free under
+    // shards.
     struct NodeShare
     {
         std::vector<Addr> pagePerSender; // indexed by sender id
@@ -54,6 +65,7 @@ runPattern(const TrafficConfig &tc)
     };
     std::vector<NodeShare> shares(n);
     unsigned exported_count = 0;
+    unsigned mapped_count = 0;
 
     for (unsigned r = 0; r < n; ++r) {
         auto *node = &sys.node(r);
@@ -85,6 +97,7 @@ runPattern(const TrafficConfig &tc)
                 Addr src = co_await ctx.sysAllocMemory(pb);
                 co_await ctx.store(src, r);
                 co_await ctx.load(ctx.proxyAddr(src, 0)); // warm
+                ++mapped_count;
 
                 TrafficGenerator gen(tc, r);
                 for (unsigned m = 0; m < tc.messagesPerNode; ++m) {
@@ -98,12 +111,18 @@ runPattern(const TrafficConfig &tc)
             });
     }
 
+    // Export + remote mapping read host state across nodes: run them
+    // sequentially in the canonical global order so the shard count
+    // is invisible; the streaming phase that follows is node-local.
+    sys.runSetup([&] { return mapped_count == n; },
+                 Tick(600) * tickSec);
+
     Tick t0 = 0;
     sys.runUntilAllDone(Tick(600) * tickSec);
     sys.run();
 
     PatternResult res;
-    res.wallUs = ticksToUs(sys.eq().now() - t0);
+    res.wallUs = ticksToUs(sys.simNow() - t0);
     std::uint64_t total_bytes = 0;
     for (unsigned r = 0; r < n; ++r)
         total_bytes += sys.node(r).ni()->bytesDelivered();
@@ -131,8 +150,25 @@ main(int argc, char **argv)
     base.messagesPerNode = 24;
     base.seed = 7;
 
-    std::printf("# Traffic patterns, %u nodes, %u x %u B per node\n",
-                base.nodes, base.messagesPerNode, base.messageBytes);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--nodes=", 0) == 0) {
+            base.nodes =
+                unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (base.nodes < 2) {
+        std::fprintf(stderr, "want --nodes>=2\n");
+        return 2;
+    }
+    const unsigned shards = resolveShards(opts, base.nodes);
+
+    std::printf(
+        "# Traffic patterns, %u nodes, %u x %u B per node, %u shards\n",
+        base.nodes, base.messagesPerNode, base.messageBytes, shards);
     std::printf("%-18s %12s %14s %18s\n", "pattern", "wall_us",
                 "aggregate_MB_s", "hot_node_msgs");
 
@@ -141,7 +177,7 @@ main(int argc, char **argv)
           Pattern::UniformRandom, Pattern::Hotspot, Pattern::Bursty}) {
         TrafficConfig tc = base;
         tc.pattern = p;
-        auto r = runPattern(tc);
+        auto r = runPattern(tc, shards);
         std::printf("%-18s %12.0f %14.2f %18llu\n", patternName(p),
                     r.wallUs, r.aggregateMBs,
                     (unsigned long long)r.hotDelivered);

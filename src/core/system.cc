@@ -191,13 +191,18 @@ System::System(const SystemConfig &cfg)
                       "--shards or the FifoNic device");
             }
         }
-        // The synchronization horizon: nothing crosses nodes faster
-        // than one backplane hop (DESIGN.md §10).
-        Tick lookahead =
-            std::max<Tick>(1, cfg_.params.linkLatency());
+        // The synchronization horizon comes from the interconnect:
+        // nothing crosses nodes faster than the smallest packet's
+        // injection serialization plus the backplane hop, per node
+        // pair (DESIGN.md §10). The engine folds the per-pair floors
+        // into its shard-pair lookahead matrix.
         unsigned shards = std::min(cfg_.shards, cfg_.nodes);
         engine_ = std::make_unique<sim::ShardedEngine>(
-            cfg_.nodes, shards, lookahead);
+            cfg_.nodes, shards,
+            sim::ShardedEngine::PairLookahead(
+                [this](NodeId src, NodeId dst) {
+                    return net_.minDeliveryLatency(src, dst);
+                }));
     }
 
     for (unsigned i = 0; i < cfg.nodes; ++i)

@@ -100,6 +100,26 @@ class Interconnect
     Tick hopLatency() const { return params_.linkLatency(); }
 
     /**
+     * Lower bound on the delivery delay of *any* packet from @p src
+     * to @p dst: even the smallest packet (a bare header — the ack)
+     * serializes niHeaderBytes onto the source's injection link and
+     * then takes the routing hop. The sharded engine sizes its
+     * per-(src, dst)-shard lookahead matrix from this query, so it is
+     * a hard contract: every cross-node post the NI makes must land
+     * at least this far in the sender's future. The crossbar is
+     * distance-uniform; the (src, dst) signature is what a mesh or
+     * multi-hop topology would key its answer on.
+     */
+    Tick
+    minDeliveryLatency(NodeId src, NodeId dst) const
+    {
+        (void)src;
+        (void)dst;
+        return params_.linkTransfer(params_.niHeaderBytes)
+               + hopLatency();
+    }
+
+    /**
      * Install a fault configuration (single-threaded, before the
      * run). The per-source slots were sized during attach.
      */

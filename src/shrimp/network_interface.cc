@@ -645,7 +645,14 @@ NetworkInterface::sendAck(NodeId src, std::uint64_t cum)
                    ") dropped");
         return;
     }
-    Tick when = eq_.now() + net_.hopLatency() + fd.extraDelay;
+    // An ack is a real header-sized packet: it serializes on this
+    // node's injection link (contending with its own data traffic)
+    // before taking the hop. That also makes the ack path respect
+    // Interconnect::minDeliveryLatency — the floor the sharded
+    // engine's lookahead matrix is derived from.
+    Tick injected =
+        net_.acquireLink(node_, params_.niHeaderBytes, eq_.now());
+    Tick when = injected + net_.hopLatency() + fd.extraDelay;
     NetworkInterface *sender = net_.ni(src);
     postToNode(src, when, "ni.ack",
                [sender, me = node_, cum] { sender->rxAck(me, cum); });

@@ -6,8 +6,9 @@ namespace shrimp::sim
 {
 
 EventHandle
-EventQueue::schedule(Tick when, const char *name, EventCallback fn,
-                     EventPriority prio)
+EventQueue::scheduleStamped(Tick when, std::uint64_t stamp,
+                            const char *name, EventCallback fn,
+                            EventPriority prio)
 {
     if (when < curTick_) {
         panic("event '", name ? name : "?",
@@ -27,7 +28,7 @@ EventQueue::schedule(Tick when, const char *name, EventCallback fn,
 
     Record &rec = slots_[slot];
     rec.when = when;
-    rec.seq = nextSeq_++;
+    rec.seq = stamp;
     rec.name = name;
     rec.fn = std::move(fn);
     rec.prio = static_cast<std::int32_t>(prio);
@@ -116,6 +117,7 @@ EventQueue::fire(const HeapEntry &e)
     Record &rec = slots_[e.slot];
     SHRIMP_ASSERT(rec.when >= curTick_, "time went backwards");
     curTick_ = rec.when;
+    lastFired_ = rec.when;
     flight_.record(rec.when, rec.name, rec.prio);
     // Move the callback out so the slot can be recycled even if the
     // callback schedules further events.

@@ -1,7 +1,19 @@
 /**
  * @file
  * The discrete-event simulation core: a single global-per-System event
- * queue ordered by (tick, priority, insertion sequence).
+ * queue ordered by (tick, priority, stamp).
+ *
+ * The stamp is the intra-(tick, priority) tie-break. A legacy shared
+ * queue stamps events with a plain insertion counter, which reproduces
+ * classic insertion-order FIFO semantics. Under the sharded engine
+ * (sim/sharded.hh) every queue is given a stamp source id — its node —
+ * and stamps become (source node << stampSeqBits) | per-source counter:
+ * a *canonical* key assigned when the originating node decides to
+ * schedule the event, not when the message happens to be drained into
+ * the destination queue. Ties therefore execute in (source node,
+ * per-source order), independent of shard count, mailbox batching, or
+ * window boundaries — the property the engine's bit-identical
+ * `--shards=1` vs `--shards=N` guarantee rests on.
  *
  * All timing in the simulator is expressed by scheduling callbacks on
  * this queue. Components never busy-wait; they schedule their next
@@ -264,6 +276,45 @@ class EventQueue
     Tick now() const { return curTick_; }
 
     /**
+     * Tick of the most recently fired event (0 before any fired).
+     * Unlike now(), this never advances past events: run(limit) moves
+     * now() to the limit even when the stretch was empty, which is
+     * window-shape dependent under the sharded engine, while the last
+     * fired tick is canonical — the engine's merged clock uses it.
+     */
+    Tick lastFiredTick() const { return lastFired_; }
+
+    /** Per-source sequence bits in a stamp; the high bits carry the
+     *  stamp source id (the owning node under the sharded engine). */
+    static constexpr unsigned stampSeqBits = 44;
+
+    /**
+     * Brand this queue's stamps with an originating-source id (the
+     * node id + engine convention). Must be set before any event is
+     * scheduled; the default source 0 reproduces the legacy
+     * plain-counter insertion order.
+     */
+    void
+    setStampSource(std::uint32_t id)
+    {
+        SHRIMP_ASSERT(nextSeq_ == 1, "stamp source set after events");
+        stampBase_ = std::uint64_t(id) << stampSeqBits;
+    }
+
+    /**
+     * Allocate the next canonical stamp for an event originating on
+     * this queue's node. The sharded engine calls this at post() time
+     * so a cross-node message carries its tie-break key with it.
+     */
+    std::uint64_t
+    allocStamp()
+    {
+        SHRIMP_ASSERT(nextSeq_ < (std::uint64_t(1) << stampSeqBits),
+                      "per-source stamp space exhausted");
+        return stampBase_ | nextSeq_++;
+    }
+
+    /**
      * Schedule a callback at an absolute tick.
      *
      * @param when Absolute tick; must be >= now().
@@ -273,8 +324,23 @@ class EventQueue
      * @param prio Intra-tick ordering class.
      * @return Handle that can cancel the event before it fires.
      */
-    EventHandle schedule(Tick when, const char *name, EventCallback fn,
-                         EventPriority prio = EventPriority::Default);
+    EventHandle
+    schedule(Tick when, const char *name, EventCallback fn,
+             EventPriority prio = EventPriority::Default)
+    {
+        return scheduleStamped(when, allocStamp(), name, std::move(fn),
+                               prio);
+    }
+
+    /**
+     * Schedule with a caller-provided stamp — the sharded engine's
+     * delivery path for cross-node messages, whose stamp was allocated
+     * on the *originating* node's queue at post() time.
+     */
+    EventHandle scheduleStamped(Tick when, std::uint64_t stamp,
+                                const char *name, EventCallback fn,
+                                EventPriority prio =
+                                    EventPriority::Default);
 
     /** Schedule a callback @p delay ticks in the future. */
     EventHandle
@@ -361,6 +427,7 @@ class EventQueue
     struct Record
     {
         Tick when = 0;
+        /** Canonical stamp: (source id << stampSeqBits) | counter. */
         std::uint64_t seq = 0;
         const char *name = nullptr;
         EventCallback fn;
@@ -416,7 +483,10 @@ class EventQueue
     void maybeCompact();
 
     Tick curTick_ = 0;
+    Tick lastFired_ = 0;
     std::uint64_t nextSeq_ = 1;
+    /** High stamp bits: the queue's source id (see setStampSource). */
+    std::uint64_t stampBase_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t cancelled_ = 0;
     std::uint64_t compactions_ = 0;

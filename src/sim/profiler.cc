@@ -21,6 +21,10 @@ ShardProfiler::beginRun()
     for (auto &p : slots_)
         p.s = Slot{};
     skippedRuns_.store(0, std::memory_order_relaxed);
+    for (auto &b : widthHist_)
+        b.store(0, std::memory_order_relaxed);
+    barSpinWakes_.store(0, std::memory_order_relaxed);
+    barSleeps_.store(0, std::memory_order_relaxed);
     wallNs_ = 0;
     origin_ = std::chrono::steady_clock::now();
     running_ = true;
@@ -153,6 +157,15 @@ ShardProfiler::writeTable(std::ostream &os) const
     os << "skipped-window runs: " << skippedWindowRuns()
        << "; idle windows: " << t.idleWindows << " of " << t.windows
        << "\n";
+    os << "barrier waits: " << barrierSpinWakes() << " spin, "
+       << barrierFutexSleeps() << " futex-sleep\n";
+    os << "window widths (ticks, log2): idle=" << windowWidthBucket(0);
+    for (unsigned i = 1; i < widthBuckets; ++i) {
+        const std::uint64_t n = windowWidthBucket(i);
+        if (n != 0)
+            os << " 2^" << (i - 1) << "=" << n;
+    }
+    os << "\n";
 }
 
 void
@@ -164,6 +177,13 @@ ShardProfiler::dumpJson(JsonWriter &w) const
     w.field("wall_ns", wallNs_);
     w.field("accounted_frac", accountedFraction());
     w.field("skipped_window_runs", skippedWindowRuns());
+    w.field("barrier_spin_wakes", barrierSpinWakes());
+    w.field("barrier_futex_sleeps", barrierFutexSleeps());
+    w.key("window_width_log2");
+    w.beginArray();
+    for (unsigned i = 0; i < widthBuckets; ++i)
+        w.value(windowWidthBucket(i));
+    w.endArray();
     w.key("totals_ns");
     w.beginObject();
     w.field("execute", t.executeNs);

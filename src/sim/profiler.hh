@@ -9,9 +9,12 @@
  *   execute       running a window's events (>=1 event fired)
  *   idle          an execute phase that fired zero events on this
  *                 shard (the wall cost of conservative window skew)
- *   barrier_plan  waiting at the plan barrier (includes the one
- *                 thread that runs planWindow in the completion)
- *   barrier_sync  waiting at the post-execute sync barrier
+ *   barrier_plan  waiting at the round barrier (includes the one
+ *                 thread that runs planRound in the completion). The
+ *                 engine fuses plan and sync into this single
+ *                 barrier, so barrier_sync is retained only for
+ *                 schema stability and reads ~0.
+ *   barrier_sync  legacy post-execute sync barrier (see above)
  *   drain         draining cross-shard mailboxes into the queues
  *
  * — accumulated lock-free in one cache-line-aligned slot per worker
@@ -23,8 +26,13 @@
  *
  * Occupancy counters ride along: events executed per window (an idle
  * window is one that executed none), messages drained per barrier and
- * the max drain batch, and skipped-window runs noted by the planner
- * when consecutive windows are not adjacent in sim time.
+ * the max drain batch, skipped-window runs noted by the planner when
+ * consecutive windows are not adjacent in sim time, a log2 histogram
+ * of planned per-shard window widths (bucket 0 = rounds where the
+ * shard had nothing to run — the direct readout of how much the
+ * promise-based horizons widen windows beyond the static lookahead),
+ * and the engine's adaptive-barrier outcomes (waits resolved by
+ * spinning vs. futex sleeps).
  *
  * The profiler only observes: attaching it changes no sim-visible
  * state, so digests and sim-time metrics are identical with and
@@ -38,11 +46,15 @@
 #ifndef SHRIMP_SIM_PROFILER_HH
 #define SHRIMP_SIM_PROFILER_HH
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <ostream>
 #include <vector>
+
+#include "sim/types.hh"
 
 namespace shrimp::sim
 {
@@ -129,6 +141,35 @@ class ShardProfiler
         skippedRuns_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /** Log2 window-width histogram buckets: [0] counts rounds where a
+     *  shard had nothing to run; bucket k >= 1 counts planned widths
+     *  in [2^(k-1), 2^k) ticks; the last bucket absorbs the rest. */
+    static constexpr unsigned widthBuckets = 65;
+
+    /** Planner computed a per-shard window of @p width ticks (0 =
+     *  the shard was idle this round). Called from the barrier
+     *  completion — serialized, but possibly from a different thread
+     *  each round, hence the relaxed atomics. */
+    void
+    noteWindowWidth(Tick width)
+    {
+        const unsigned b =
+            width == 0
+                ? 0u
+                : std::min<unsigned>(widthBuckets - 1,
+                                     std::bit_width(std::uint64_t(width)));
+        widthHist_[b].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Accumulate the engine's adaptive-barrier outcomes for a run
+     *  (called once per runWindows, after the joins). */
+    void
+    addBarrierWaits(std::uint64_t spin_wakes, std::uint64_t futex_sleeps)
+    {
+        barSpinWakes_.fetch_add(spin_wakes, std::memory_order_relaxed);
+        barSleeps_.fetch_add(futex_sleeps, std::memory_order_relaxed);
+    }
+
     /** Mirror every noted phase into @p sink as wall slices. */
     void setTraceSink(TraceSink *sink) { sink_ = sink; }
 
@@ -142,6 +183,27 @@ class ShardProfiler
     skippedWindowRuns() const
     {
         return skippedRuns_.load(std::memory_order_relaxed);
+    }
+
+    /** Count in window-width histogram bucket @p i (see widthBuckets). */
+    std::uint64_t
+    windowWidthBucket(unsigned i) const
+    {
+        return widthHist_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Barrier waits resolved while spinning, this run. */
+    std::uint64_t
+    barrierSpinWakes() const
+    {
+        return barSpinWakes_.load(std::memory_order_relaxed);
+    }
+
+    /** Barrier waits that fell back to a futex sleep, this run. */
+    std::uint64_t
+    barrierFutexSleeps() const
+    {
+        return barSleeps_.load(std::memory_order_relaxed);
     }
 
     /**
@@ -169,6 +231,9 @@ class ShardProfiler
     std::uint64_t wallNs_ = 0;
     bool running_ = false;
     std::atomic<std::uint64_t> skippedRuns_{0};
+    std::array<std::atomic<std::uint64_t>, widthBuckets> widthHist_{};
+    std::atomic<std::uint64_t> barSpinWakes_{0};
+    std::atomic<std::uint64_t> barSleeps_{0};
     TraceSink *sink_ = nullptr;
 };
 

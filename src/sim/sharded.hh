@@ -1,26 +1,46 @@
 /**
  * @file
  * The sharded simulation core: one EventQueue per node, executed in
- * conservative time windows (Chandy-Misra-style) by a pool of worker
- * threads, one shard of nodes per worker.
+ * distance-aware conservative time windows (Chandy-Misra-style) by a
+ * pool of worker threads, one shard of nodes per worker.
  *
- * The synchronization horizon is the interconnect's minimum cross-node
- * latency: any event one node schedules on another is at least
- * `lookahead` ticks in the future (the backplane hop latency — see
- * DESIGN.md §10 for the derivation from MachineParams). Windows are
- * [start, start + lookahead - 1], so everything a node posts from
- * inside a window lands strictly in a later window and nodes can
- * execute a window's events concurrently with no intra-window
- * communication at all.
+ * Synchronization is driven by two inputs instead of one global
+ * horizon:
  *
- * Cross-node messages travel through per-(source shard, destination
- * shard) SPSC mailboxes, drained at the window barrier into the
- * destination queues in a canonical order — stable-sorted by
- * (tick, priority, source node), with the stable sort preserving each
- * source's FIFO order. That rule makes the drained insertion order —
- * and with it every queue's (tick, priority, sequence) execution
- * order — independent of the shard count, which is what makes
- * `--shards=1` and `--shards=N` bit-identical in sim time.
+ *  - A per-(source shard, destination shard) *lookahead matrix*,
+ *    derived from the interconnect's minimum real delivery latency
+ *    (`Interconnect::minDeliveryLatency`: header serialization on the
+ *    injection link plus the routing hop — see DESIGN.md §10). Any
+ *    event node s schedules on node d lands at least
+ *    `pairLookahead(shard(s), shard(d))` ticks past s's clock.
+ *
+ *  - Per-round *promises*: at every barrier each shard publishes its
+ *    earliest possible next event (its queues' minimum pending tick,
+ *    plus a per-destination minimum over the cross-posts it staged
+ *    this round). The planner computes each shard's safe horizon as
+ *
+ *        H[d] = min over s != d of (nextEvent[s] + pairLookahead[s][d])
+ *
+ *    and shard d executes the inclusive window [.., H[d] - 1]. A
+ *    shard whose peers are idle or far in the future runs a huge
+ *    window — up to the limit in one hop — instead of lock-stepping
+ *    at the static lookahead like the original global-window scheme.
+ *
+ * One barrier per round: the plan runs in the barrier's completion
+ * step (every worker parked), and each worker then drains its inbox
+ * and executes its window — there is no separate post-execute sync
+ * barrier. A shard holding several nodes executes them with a merged
+ * (tick, priority, node) min-selection loop, so same-shard cross-node
+ * posts are delivered directly into the destination queue without
+ * clamping anyone's horizon.
+ *
+ * Cross-shard messages travel through per-(source shard, destination
+ * shard) SPSC mailboxes and carry a canonical *stamp* allocated from
+ * the originating node's queue at post() time
+ * (see EventQueue::allocStamp). Queues order ties by that stamp, so
+ * the execution order at equal (tick, priority) is (source node,
+ * per-source order) no matter when a message was drained — which is
+ * what makes `--shards=1` and `--shards=N` bit-identical in sim time.
  *
  * Barriers are also where the world is quiescent, so the invariant
  * auditor's hook and the stop predicate run in the barrier completion
@@ -36,6 +56,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -61,8 +82,10 @@ class NodeRouter
     /**
      * Schedule @p fn at absolute tick @p when on node @p dst's queue.
      * Must be called from the shard currently executing @p src, and —
-     * when src != dst — with `when >= now(src) + lookahead` so the
-     * event cannot land inside the current window.
+     * when src != dst — with
+     * `when >= now(src) + pairLookahead(shard(src), shard(dst))` so
+     * the event cannot land inside any window the destination may be
+     * executing.
      */
     virtual void post(NodeId src, NodeId dst, Tick when,
                       const char *name, EventCallback fn,
@@ -72,13 +95,22 @@ class NodeRouter
 /**
  * A spinning barrier with a completion callback: the last thread to
  * arrive runs the completion (with every other participant parked),
- * then releases the phase. Spins briefly and falls back to
- * atomic::wait, keeping the common microsecond-scale window
- * turnaround off the futex path.
+ * then releases the phase.
+ *
+ * The spin budget adapts: a waiter that spins out and has to
+ * futex-sleep halves the budget (down to spinFloor), one that is
+ * released while still spinning nudges it back up (to spinCap), so a
+ * run whose rounds turn over in microseconds stays off the futex
+ * while an oversubscribed host stops burning cycles. Both outcomes
+ * are counted — the profiler exports them so barrier behaviour is
+ * observable, not guessed.
  */
 class SpinBarrier
 {
   public:
+    static constexpr int spinCap = 4096;
+    static constexpr int spinFloor = 64;
+
     explicit SpinBarrier(unsigned parties,
                          std::function<void()> completion = {})
         : parties_(parties), completion_(std::move(completion))
@@ -98,12 +130,44 @@ class SpinBarrier
             phase_.notify_all();
             return;
         }
-        for (int spin = 0; spin < 4096; ++spin) {
-            if (phase_.load(std::memory_order_acquire) != phase)
+        const int budget = spinBudget_.load(std::memory_order_relaxed);
+        for (int spin = 0; spin < budget; ++spin) {
+            if (phase_.load(std::memory_order_acquire) != phase) {
+                spinWakes_.fetch_add(1, std::memory_order_relaxed);
+                if (budget < spinCap) {
+                    spinBudget_.store(
+                        std::min(spinCap, budget + budget / 4 + 1),
+                        std::memory_order_relaxed);
+                }
                 return;
+            }
         }
+        spinBudget_.store(std::max(spinFloor, budget / 2),
+                          std::memory_order_relaxed);
+        futexSleeps_.fetch_add(1, std::memory_order_relaxed);
         while (phase_.load(std::memory_order_acquire) == phase)
             phase_.wait(phase, std::memory_order_acquire);
+    }
+
+    /** Waits released while still spinning (no futex involved). */
+    std::uint64_t
+    spinWakes() const
+    {
+        return spinWakes_.load(std::memory_order_relaxed);
+    }
+
+    /** Waits that exhausted the spin budget and slept on the futex. */
+    std::uint64_t
+    futexSleeps() const
+    {
+        return futexSleeps_.load(std::memory_order_relaxed);
+    }
+
+    /** Current adaptive spin budget (observability/tests). */
+    int
+    spinBudget() const
+    {
+        return spinBudget_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -111,6 +175,9 @@ class SpinBarrier
     std::function<void()> completion_;
     std::atomic<unsigned> arrived_{0};
     std::atomic<std::uint64_t> phase_{0};
+    std::atomic<int> spinBudget_{spinCap};
+    std::atomic<std::uint64_t> spinWakes_{0};
+    std::atomic<std::uint64_t> futexSleeps_{0};
 };
 
 /**
@@ -121,7 +188,10 @@ class SpinBarrier
  *  - run()/runUntil(): the parallel data-phase loop. Within a window
  *    each node's queue executes independently, so node state must not
  *    be read across nodes except through post(). The stop predicate
- *    is evaluated at window barriers.
+ *    is evaluated at window barriers — note that a shard decoupled
+ *    from all cross-traffic may execute all the way to the limit in
+ *    one window, so the predicate's granularity is the window, not
+ *    the event.
  *  - runSetup(): a sequential phase for workload setup that *does*
  *    rendezvous through host-shared state (e.g. msg::Channel's
  *    export/import flags). All queues are interleaved in one global
@@ -132,7 +202,20 @@ class SpinBarrier
 class ShardedEngine : public NodeRouter
 {
   public:
+    /** Minimum delivery latency from node @p src to node @p dst. */
+    using PairLookahead = std::function<Tick(NodeId src, NodeId dst)>;
+
+    /** Uniform lookahead (floored at 1 tick) between any node pair. */
     ShardedEngine(unsigned nodes, unsigned shards, Tick lookahead);
+
+    /**
+     * Distance-aware lookahead: @p la is queried once per ordered
+     * node pair at construction and folded into a per-(src shard,
+     * dst shard) matrix of minima.
+     */
+    ShardedEngine(unsigned nodes, unsigned shards,
+                  const PairLookahead &la);
+
     ~ShardedEngine() override;
 
     ShardedEngine(const ShardedEngine &) = delete;
@@ -141,7 +224,19 @@ class ShardedEngine : public NodeRouter
     unsigned nodeCount() const { return unsigned(queues_.size()); }
     unsigned shardCount() const { return shards_; }
     unsigned shardOf(NodeId node) const { return node % shards_; }
-    Tick lookahead() const { return lookahead_; }
+
+    /** The smallest entry of the lookahead matrix (also the uniform
+     *  window width runSetup uses). */
+    Tick lookahead() const { return minLookahead_; }
+
+    /** The (src shard, dst shard) lookahead floor: no post from a
+     *  node of @p src_shard may land on a node of @p dst_shard less
+     *  than this far past the poster's clock. */
+    Tick
+    pairLookahead(unsigned src_shard, unsigned dst_shard) const
+    {
+        return pairL_[std::size_t(src_shard) * shards_ + dst_shard];
+    }
 
     EventQueue &
     queue(NodeId node)
@@ -187,27 +282,47 @@ class ShardedEngine : public NodeRouter
     void setProfiler(ShardProfiler *profiler) { profiler_ = profiler; }
 
     // --------------------------------------------- merged views
-    /** Max of the per-node clocks (the global sim time). */
+    /**
+     * Global sim time: the max over per-node *last fired* ticks. The
+     * fired tick — unlike EventQueue::now(), which run(limit) parks
+     * at the window end even when the stretch was empty — does not
+     * depend on how windows were shaped, so this value is canonical
+     * across shard counts.
+     */
     Tick now() const;
 
     /** Sum of per-queue executed-event counts. */
     std::uint64_t eventsExecuted() const;
 
-    /** Sum of per-queue pending events (mailboxes are drained and
-     *  therefore empty whenever the engine is not running). */
+    /**
+     * Pending events: the per-queue counts plus any cross-shard
+     * messages still staged in mailboxes (posted but not yet drained
+     * — a run stopped at a predicate can leave some staged; they are
+     * delivered at the next run's entry). Exact when the engine is
+     * not running.
+     */
     std::uint64_t pendingEvents() const;
 
-    /** Cross-node messages routed through mailboxes. */
+    /** Cross-node posts (src != dst): mailbox messages plus
+     *  same-shard direct deliveries. Shard-count invariant. */
     std::uint64_t crossPosts() const;
 
     /** Conservative windows executed (both run modes). */
     std::uint64_t windows() const { return windows_; }
+
+    /** Barrier waits resolved by spinning / by futex sleep, summed
+     *  over all runs since construction. */
+    std::uint64_t barrierSpinWakes() const { return barSpinWakes_; }
+    std::uint64_t barrierFutexSleeps() const { return barSleeps_; }
 
   private:
     struct CrossMsg
     {
         Tick when = 0;
         std::int32_t prio = 0;
+        /** Canonical tie-break key, allocated on the source queue at
+         *  post() time (EventQueue::allocStamp). */
+        std::uint64_t stamp = 0;
         NodeId src = 0;
         NodeId dst = 0;
         const char *name = nullptr;
@@ -216,29 +331,71 @@ class ShardedEngine : public NodeRouter
 
     /**
      * One (source shard -> destination shard) channel. The ring is
-     * the lock-free fast path; when it fills, the producer spills to
-     * a plain vector that the consumer only reads after a barrier
-     * (which provides the happens-before edge). `posted` is owned by
-     * the producer and summed on demand, so the cross-post counter
-     * needs no shared atomics.
+     * the lock-free fast path. Overflow spills into one of two plain
+     * vectors, selected by the round parity: the producer writes
+     * spill[parity] while the consumer drains spill[parity ^ 1] —
+     * always the previous round's overflow, published by the barrier
+     * in between — so the fused-barrier round (drain concurrent with
+     * the producers' execution) never has two threads on one vector.
+     * `posted` is owned by the producer, `delivered` by the consumer;
+     * both are summed on demand when the world is quiescent.
      */
     struct Mailbox
     {
         SpscRing<CrossMsg> ring{1024};
-        std::vector<CrossMsg> spill;
+        std::vector<CrossMsg> spill[2];
         std::uint64_t posted = 0;
+        std::uint64_t delivered = 0;
+    };
+
+    /**
+     * Per-shard working state, one cache line set per shard (the
+     * alignment keeps one shard's hot fields — cached keys, promise
+     * row, counters — off every other shard's lines; the window loop
+     * touches these every event).
+     *
+     * Ownership: the shard's own worker writes everything during its
+     * round; `windowEnd` is written by the barrier completion (all
+     * workers parked) and read by the owner; `localNext` and
+     * `postedMin` are written by the owner and read by the completion.
+     * The barrier provides the happens-before edges in both
+     * directions, so none of it needs atomics.
+     */
+    struct alignas(64) ShardState
+    {
+        /** Earliest pending tick across this shard's queues,
+         *  published at the end of each round. */
+        Tick localNext = maxTick;
+        /** This round's inclusive execution horizon (completion). */
+        Tick windowEnd = 0;
+        /** postedMin[d]: earliest cross-post staged toward shard d
+         *  this round — the shard's promise to its peers. */
+        std::vector<Tick> postedMin;
+        /** The nodes this shard executes, ascending. */
+        std::vector<NodeId> nodes;
+        /** queues[i] == engine queue of nodes[i]. */
+        std::vector<EventQueue *> queues;
+        /** Cached (tick, prio) next-event keys for the merged
+         *  min-selection loop; post() lowers the destination's entry
+         *  on same-shard direct delivery. */
+        std::vector<std::pair<Tick, std::int32_t>> keys;
+        /** Drain scratch, reused (capacity persists) across rounds. */
+        std::vector<CrossMsg> drainBuf;
+        /** Same-shard cross-node posts delivered directly. */
+        std::uint64_t directPosts = 0;
     };
 
     struct Control
     {
         Tick limit = maxTick;
         const std::function<bool()> *pred = nullptr;
-        Tick windowEnd = 0;
         bool done = false;
-        /** True once a first window has been planned this run (the
-         *  planner uses windowEnd of the previous window to detect
-         *  skipped-ahead gaps for the profiler). */
+        /** Which spill vector producers write this round. */
+        unsigned parity = 0;
+        /** True once a first window has been planned this run. */
         bool haveWindow = false;
+        /** Max shard horizon of the previous round (skip detection). */
+        Tick prevMaxEnd = 0;
         std::exception_ptr error;
     };
 
@@ -248,45 +405,60 @@ class ShardedEngine : public NodeRouter
         return *boxes_[src_shard * shards_ + dst_shard];
     }
 
-    /** Earliest pending event tick across all queues. */
-    Tick minNextEvent();
+    /** Shared constructor body. */
+    void init(unsigned nodes, const PairLookahead &la);
 
-    /** Windows are inclusive: [start, start + lookahead - 1]. */
+    /** Uniform runSetup windows: [start, start + lookahead() - 1]. */
     Tick windowEndFor(Tick start, Tick limit) const;
 
-    /** Pop + spill-drain every mailbox bound for @p dst_shard and
-     *  schedule the messages in canonical order.
-     *  @return Number of messages delivered. */
-    std::size_t drainShard(unsigned dst_shard);
+    /**
+     * Pop every mailbox bound for @p dst_shard — the ring plus the
+     * previous round's spill (both spills when @p both, the
+     * sequential entry drain) — and schedule the messages,
+     * stable-sorted by (tick, priority, stamp), into the destination
+     * queues. @return Number of messages delivered.
+     */
+    std::size_t drainShard(unsigned dst_shard, bool both);
 
     /** Sequential full drain (entry to either run mode). */
     void drainAll();
 
-    /** Barrier completion: audit hook, predicate, next window. */
-    void planWindow();
+    /** Barrier completion: audit hook, predicate, promise-based
+     *  per-shard horizons for the next round. */
+    void planRound();
 
-    void workerBody(unsigned worker, unsigned workers);
+    /** Execute shard @p s's queues up to its windowEnd: the single
+     *  queue directly, several via the merged min-selection loop. */
+    void executeShard(unsigned s);
+
+    void workerBody(unsigned worker);
     void noteError();
 
     Tick runWindows(const std::function<bool()> *pred, Tick limit);
 
     const unsigned shards_;
-    const Tick lookahead_;
+    /** Min of pairL_ (runSetup window width; lookahead() accessor). */
+    Tick minLookahead_ = 1;
+    /** Shard-pair lookahead matrix, row-major [src * shards_ + dst]:
+     *  min over the member node pairs of the per-node-pair floor. */
+    std::vector<Tick> pairL_;
     std::vector<std::unique_ptr<EventQueue>> queues_;
-    /** shardNodes_[s]: the nodes shard s executes, ascending. */
-    std::vector<std::vector<NodeId>> shardNodes_;
+    /** Index of each node within its shard's queues/keys vectors. */
+    std::vector<std::uint32_t> nodeShardIdx_;
+    std::vector<ShardState> shardStates_;
     std::vector<std::unique_ptr<Mailbox>> boxes_;
-    /** Per-destination-shard drain scratch (reused across windows). */
-    std::vector<std::vector<CrossMsg>> drainBuf_;
+    /** Completion scratch: per-shard earliest possible next event. */
+    std::vector<Tick> nextEvent_;
 
     std::function<void()> barrierHook_;
     ShardProfiler *profiler_ = nullptr;
     std::uint64_t windows_ = 0;
+    std::uint64_t barSpinWakes_ = 0;
+    std::uint64_t barSleeps_ = 0;
 
     Control ctrl_;
     std::mutex errMu_;
-    std::unique_ptr<SpinBarrier> planBarrier_;
-    std::unique_ptr<SpinBarrier> syncBarrier_;
+    std::unique_ptr<SpinBarrier> barrier_;
 };
 
 } // namespace shrimp::sim

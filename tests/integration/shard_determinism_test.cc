@@ -84,6 +84,24 @@ TEST(ShardDeterminism, LargerRecordsStayIdentical)
                     "4080-byte records, shards=1 vs shards=2");
 }
 
+TEST(ShardDeterminism, LargeMachineManyShards)
+{
+    // The 256-node shape the bench gates on, shrunk to one record per
+    // node so the test stays affordable under TSan: 8 shards of 32
+    // nodes each exercise the merged in-shard execution loop, direct
+    // same-shard delivery, and the promise-based horizons at scale.
+    RingConfig cfg;
+    cfg.nodes = 256;
+    cfg.records = 1;
+    cfg.recordBytes = 1024;
+    cfg.shards = 1;
+    RingResult r1 = workload::runRing(cfg);
+    cfg.shards = 8;
+    RingResult r8 = workload::runRing(cfg);
+    expectIdentical(r1, r8, "256 nodes, shards=1 vs shards=8");
+    EXPECT_GT(r8.crossPosts, 0u);
+}
+
 TEST(ShardDeterminism, LegacyModeStillWorks)
 {
     // shards=0 keeps the original single-queue path: same workload,

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -139,14 +140,120 @@ TEST(Sharded, RunStopsAtTheLimit)
 
 TEST(Sharded, RunUntilStopsAtABarrierOncePredHolds)
 {
+    // Both shards hold pending events, so each one's promise bounds
+    // the other's horizon to ~one lookahead and the predicate gets a
+    // barrier to stop at long before the queues drain. (A shard with
+    // no incoming traffic would instead run to the limit in one
+    // window — see WindowsWidenForDecoupledShards.)
     ShardedEngine eng(2, 2, 10);
-    int fired = 0;
-    for (Tick t = 1; t <= 20; ++t)
+    std::atomic<int> fired{0};
+    for (Tick t = 1; t <= 20; ++t) {
         eng.queue(0).schedule(t * 7, "test.tick",
                               [&fired] { ++fired; });
+        eng.queue(1).schedule(t * 7, "test.tock",
+                              [&fired] { ++fired; });
+    }
     eng.runUntil([&fired] { return fired >= 3; });
     EXPECT_GE(fired, 3);
-    EXPECT_LT(fired, 20) << "stopped well before the queue drained";
+    EXPECT_LT(fired, 40) << "stopped well before the queues drained";
+}
+
+TEST(Sharded, WindowsWidenForDecoupledShards)
+{
+    // Promise-based horizons: shard 1 has nothing pending, so the
+    // earliest thing it could ever send shard 0 is a reflection of
+    // shard 0's own traffic — a full round trip away. Shard 0's
+    // window therefore spans two lookaheads (200000 ticks), and the
+    // whole 50000-tick run completes in one planned window instead of
+    // one per event gap.
+    ShardedEngine eng(2, 2, 100000);
+    int fired = 0;
+    for (Tick t = 1; t <= 50; ++t)
+        eng.queue(0).schedule(t * 1000, "test.tick",
+                              [&fired] { ++fired; });
+    eng.run();
+    EXPECT_EQ(fired, 50);
+    EXPECT_LE(eng.windows(), 2u)
+        << "the run should fit in one round-trip-wide window";
+}
+
+TEST(Sharded, PairLookaheadFoldsNodePairMinima)
+{
+    // Distance-aware construction: the engine keeps a per-(src shard,
+    // dst shard) matrix holding the minimum over the node pairs that
+    // map onto each cell.
+    ShardedEngine eng(4, 2, ShardedEngine::PairLookahead(
+                                [](NodeId src, NodeId) -> Tick {
+                                    return src == 0 ? 20 : 80;
+                                }));
+    // Shard 0 = {0, 2}, shard 1 = {1, 3}. Cell (0, 1) sees src 0
+    // (floor 20) and src 2 (floor 80): the min wins.
+    EXPECT_EQ(eng.pairLookahead(0, 1), 20u);
+    EXPECT_EQ(eng.pairLookahead(1, 0), 80u) << "srcs 1 and 3 only";
+    EXPECT_EQ(eng.lookahead(), 20u) << "min over the whole matrix";
+}
+
+TEST(Sharded, CrossPostInsideThePairWindowPanics)
+{
+    // The posting rule is per shard pair: a post that satisfies the
+    // matrix minimum is fine, one inside its own pair's floor panics
+    // even though other pairs have smaller floors.
+    ShardedEngine eng(4, 2, ShardedEngine::PairLookahead(
+                                [](NodeId src, NodeId) -> Tick {
+                                    return src == 0 ? 20 : 80;
+                                }));
+    bool delivered = false;
+    eng.queue(0).schedule(10, "test.ok", [&eng, &delivered] {
+        // 10 + 20 = 30: exactly at shard pair (0, 1)'s floor.
+        eng.post(0, 1, 30, "test.x", [&delivered] { delivered = true; },
+                 EventPriority::Default);
+    });
+    eng.run();
+    EXPECT_TRUE(delivered);
+
+    ShardedEngine bad(4, 2, ShardedEngine::PairLookahead(
+                                [](NodeId src, NodeId) -> Tick {
+                                    return src == 0 ? 20 : 80;
+                                }));
+    bad.queue(1).schedule(10, "test.src", [&bad] {
+        // Shard pair (1, 0) floor is 80; 10 + 50 lands inside it.
+        bad.post(1, 0, 60, "test.bad", [] {},
+                 EventPriority::Default);
+    });
+    EXPECT_THROW(bad.run(), PanicError);
+}
+
+TEST(Sharded, SameShardCrossPostsDeliverDirectly)
+{
+    // Nodes 0 and 2 share shard 0: the post skips the mailbox, is
+    // executed by the merged in-shard loop at its exact tick, and
+    // still counts as cross-node traffic.
+    ShardedEngine eng(4, 2, 10);
+    std::vector<Tick> seen;
+    eng.queue(0).schedule(10, "test.src", [&eng, &seen] {
+        eng.post(0, 2, 25, "test.x", [&eng, &seen] {
+            seen.push_back(eng.queue(2).now());
+        }, EventPriority::Default);
+    });
+    eng.run();
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], 25u);
+    EXPECT_EQ(eng.crossPosts(), 1u)
+        << "direct same-shard deliveries count as cross posts";
+}
+
+TEST(Sharded, BarrierWaitCountersAccumulate)
+{
+    // Every non-last arrival at the round barrier resolves either by
+    // spinning or by a futex sleep; with two workers and a few rounds
+    // the sum must be nonzero (which of the two depends on timing).
+    ShardedEngine eng(2, 2, 10);
+    for (Tick t = 1; t <= 20; ++t) {
+        eng.queue(0).schedule(t * 7, "test.tick", [] {});
+        eng.queue(1).schedule(t * 7, "test.tock", [] {});
+    }
+    eng.run();
+    EXPECT_GT(eng.barrierSpinWakes() + eng.barrierFutexSleeps(), 0u);
 }
 
 TEST(Sharded, BarrierHookSeesAQuiescentWorld)
