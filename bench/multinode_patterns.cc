@@ -150,11 +150,28 @@ main(int argc, char **argv)
     base.messagesPerNode = 24;
     base.seed = 7;
 
+    // --check-hotspot=FRAC gates the funnel pattern against the
+    // machine's permutation throughput: hotspot aggregate bandwidth
+    // must reach (1 - FRAC) of the mean of nearest-neighbor and
+    // transpose, or the run fails. The gate is meaningful only where
+    // the receiver, not the shared bus, is the structural bottleneck
+    // (small node counts; at 4+ nodes every pattern is bus-bound and
+    // the ratio says nothing about the transport).
+    double check_hotspot = -1.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--nodes=", 0) == 0) {
             base.nodes =
                 unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
+        } else if (arg.rfind("--check-hotspot=", 0) == 0) {
+            check_hotspot = std::strtod(arg.c_str() + 16, nullptr);
+            if (check_hotspot <= 0.0 || check_hotspot >= 1.0) {
+                std::fprintf(stderr,
+                             "--check-hotspot wants a fraction in "
+                             "(0,1), got '%s'\n",
+                             arg.c_str());
+                return 2;
+            }
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return 2;
@@ -172,6 +189,9 @@ main(int argc, char **argv)
     std::printf("%-18s %12s %14s %18s\n", "pattern", "wall_us",
                 "aggregate_MB_s", "hot_node_msgs");
 
+    double permutation_sum = 0;
+    unsigned permutation_count = 0;
+    double hotspot_mbs = 0;
     for (Pattern p :
          {Pattern::NearestNeighbor, Pattern::Transpose,
           Pattern::UniformRandom, Pattern::Hotspot, Pattern::Bursty}) {
@@ -181,6 +201,19 @@ main(int argc, char **argv)
         std::printf("%-18s %12.0f %14.2f %18llu\n", patternName(p),
                     r.wallUs, r.aggregateMBs,
                     (unsigned long long)r.hotDelivered);
+        // Per-pattern bandwidth as a first-class metric so regression
+        // tooling can diff BENCH JSONs pattern by pattern.
+        std::string key = patternName(p);
+        for (char &c : key)
+            if (c == '-')
+                c = '_';
+        report.addMetric(key + "_mb_s", r.aggregateMBs);
+        if (p == Pattern::NearestNeighbor || p == Pattern::Transpose) {
+            permutation_sum += r.aggregateMBs;
+            ++permutation_count;
+        } else if (p == Pattern::Hotspot) {
+            hotspot_mbs = r.aggregateMBs;
+        }
     }
 
     std::printf("\n# Reading: permutation patterns scale with the "
@@ -191,6 +224,30 @@ main(int argc, char **argv)
     report.setParam("nodes", double(base.nodes));
     report.setParam("message_bytes", double(base.messageBytes));
     report.setParam("messages_per_node", double(base.messagesPerNode));
+
+    int rc = 0;
+    if (check_hotspot > 0 && permutation_count > 0) {
+        const double permutation_mean =
+            permutation_sum / permutation_count;
+        const double floor = (1.0 - check_hotspot) * permutation_mean;
+        const double ratio =
+            permutation_mean > 0 ? hotspot_mbs / permutation_mean : 0;
+        report.addMetric("hotspot_vs_permutation", ratio);
+        if (hotspot_mbs < floor) {
+            std::printf("\nNETPERF REGRESSION: hotspot %.2f MB/s is "
+                        "below %.2f MB/s (%.0f%% of the %.2f MB/s "
+                        "permutation mean)\n",
+                        hotspot_mbs, floor, 100 * (1 - check_hotspot),
+                        permutation_mean);
+            rc = 1;
+        } else {
+            std::printf("\nhotspot gate: %.2f MB/s >= %.2f MB/s "
+                        "(%.0f%% of the %.2f MB/s permutation mean) "
+                        "-- ok\n",
+                        hotspot_mbs, floor, 100 * (1 - check_hotspot),
+                        permutation_mean);
+        }
+    }
     report.write();
-    return 0;
+    return rc;
 }

@@ -1,10 +1,12 @@
 /**
  * @file
- * Multi-node ring traffic (generalizing the paper's four-processor
- * prototype run): N nodes in a ring, every node simultaneously
- * streaming records to its right neighbour through a user-level
- * msg::Channel — demonstrating that each node's EISA bus, not the
- * shared backplane, is the bottleneck, as on the real machine.
+ * Multi-node traffic (generalizing the paper's four-processor
+ * prototype run): N nodes streaming records through user-level
+ * msg::Channels — by default a ring (every node to its right
+ * neighbour, demonstrating that each node's EISA bus, not the shared
+ * backplane, is the bottleneck), or with --pattern=hotspot every
+ * node streaming into node 0 (N-1 credit windows converging on one
+ * receive FIFO — the congestion-control stress case).
  *
  * Doubles as the sharded-simulation-core benchmark. With --shards=N
  * (or auto) the same configuration is run twice, on one shard and on
@@ -23,7 +25,12 @@
  * experiment: an in-process fault-free reference run must agree on
  * the payload data digest and delivery counts (every record delivered
  * exactly once despite drops/corruption), and the report grows
- * goodput, retransmit, and per-fault-kind metrics (EXPERIMENTS.md).
+ * goodput, retransmit, and per-fault-kind metrics — including
+ * retransmit_ratio, retransmits over actual wire losses, the
+ * efficiency number the selective-repeat transport is gated on
+ * (EXPERIMENTS.md). --min-goodput= and --max-retransmit-ratio= turn
+ * those metrics into hard exit-code gates (tools/run_checks.sh's
+ * netperf step).
  */
 
 #include <cstdio>
@@ -101,11 +108,29 @@ main(int argc, char **argv)
     workload::RingConfig cfg;
     std::string check_against;
     double tolerance = 0.20;
+    double min_goodput = -1;
+    double max_retransmit_ratio = -1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--nodes=", 0) == 0) {
             cfg.nodes =
                 unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
+        } else if (arg.rfind("--pattern=", 0) == 0) {
+            std::string p = arg.substr(10);
+            if (p == "hotspot") {
+                cfg.hotspot = true;
+            } else if (p != "ring") {
+                std::fprintf(stderr,
+                             "--pattern: want ring or hotspot, got "
+                             "'%s'\n",
+                             p.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--min-goodput=", 0) == 0) {
+            min_goodput = std::strtod(arg.c_str() + 14, nullptr);
+        } else if (arg.rfind("--max-retransmit-ratio=", 0) == 0) {
+            max_retransmit_ratio =
+                std::strtod(arg.c_str() + 23, nullptr);
         } else if (arg.rfind("--records=", 0) == 0) {
             cfg.records =
                 unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
@@ -156,8 +181,16 @@ main(int argc, char **argv)
     const bool faulty =
         opts.faults.specified && opts.faults.anyActive();
 
+    if ((min_goodput >= 0 || max_retransmit_ratio >= 0) && !faulty) {
+        std::fprintf(stderr,
+                     "--min-goodput/--max-retransmit-ratio need a "
+                     "faulty run (--faults=...)\n");
+        return 2;
+    }
+
     bench::BenchReport report("multinode_traffic", opts);
     report.setParam("nodes", double(cfg.nodes));
+    report.setParam("pattern", cfg.hotspot ? "hotspot" : "ring");
     report.setParam("records", double(cfg.records));
     report.setParam("record_bytes", double(cfg.recordBytes));
     report.setParam("shards", double(shards));
@@ -180,9 +213,11 @@ main(int argc, char **argv)
         span::registry().setRetainLimit(1u << 16);
     }
 
-    std::printf("# %u-node ring, %u x %u B per link, user-level "
+    std::printf("# %u-node %s, %u x %u B per link, user-level "
                 "channels\n",
-                cfg.nodes, cfg.records, cfg.recordBytes);
+                cfg.nodes, cfg.hotspot ? "hotspot (all -> node 0)"
+                                       : "ring",
+                cfg.records, cfg.recordBytes);
     if (faulty) {
         std::printf("# unreliable backplane: drop=%.3f corrupt=%.3f "
                     "dup=%.3f delay=%.3f (seed %llu)\n",
@@ -290,10 +325,16 @@ main(int argc, char **argv)
 
     std::printf("aggregate: %.2f MB/s across %u concurrent links "
                 "(backplane moved %llu bytes)\n",
-                result.aggregateMbS, cfg.nodes,
+                result.aggregateMbS, result.linksTotal,
                 (unsigned long long)result.bytesRouted);
-    std::printf("# Each link runs near the single-link EISA-bound "
-                "rate: the backplane is not the bottleneck.\n");
+    if (cfg.hotspot) {
+        std::printf("# All links share node 0's EISA drain: the "
+                    "congestion window, not the wire, sets the "
+                    "per-link rate.\n");
+    } else {
+        std::printf("# Each link runs near the single-link EISA-bound "
+                    "rate: the backplane is not the bottleneck.\n");
+    }
 
     if (faulty) {
         // Goodput under loss: re-run the identical configuration on a
@@ -309,7 +350,7 @@ main(int argc, char **argv)
                          && result.messagesDelivered
                                 == ref.messagesDelivered
                          && result.bytesDelivered == ref.bytesDelivered
-                         && result.nodesDone == cfg.nodes
+                         && result.linksDone == result.linksTotal
                          && result.chunksUnacked == 0;
         if (!recovered) {
             std::fprintf(
@@ -319,7 +360,7 @@ main(int argc, char **argv)
                 "  data_digest   %016llx vs fault-free %016llx\n"
                 "  msgs_deliv    %llu vs %llu\n"
                 "  bytes_deliv   %llu vs %llu\n"
-                "  nodes_done    %u of %u\n"
+                "  links_done    %u of %u\n"
                 "  chunks_unacked %llu\n",
                 (unsigned long long)result.dataDigest,
                 (unsigned long long)ref.dataDigest,
@@ -327,7 +368,7 @@ main(int argc, char **argv)
                 (unsigned long long)ref.messagesDelivered,
                 (unsigned long long)result.bytesDelivered,
                 (unsigned long long)ref.bytesDelivered,
-                result.nodesDone, cfg.nodes,
+                result.linksDone, result.linksTotal,
                 (unsigned long long)result.chunksUnacked);
             for (const auto &f : result.lostFlows)
                 std::fprintf(stderr, "  lost: %s\n", f.c_str());
@@ -341,22 +382,36 @@ main(int argc, char **argv)
             "loss recovery: all records delivered exactly once "
             "(data digest %016llx)\n",
             (unsigned long long)result.dataDigest);
+        // Every drop (data or ack), corruption, and down-window kill
+        // costs at least one retransmission to repair; the ratio of
+        // retransmits to those actual wire losses is the transport's
+        // efficiency number (go-back-N sat near 8, selective repeat
+        // should sit near 1).
+        std::uint64_t losses = result.faults.dropped
+                               + result.faults.corrupted
+                               + result.faults.downDropped;
+        double rtx_ratio =
+            double(result.retransmits) / double(std::max<std::uint64_t>(losses, 1));
         std::printf(
             "goodput under loss: %.2f MB/s vs %.2f MB/s fault-free "
-            "(%.1f%%), %llu retransmits over %llu timeouts; links "
-            "dropped %llu, corrupted %llu, duplicated %llu, delayed "
-            "%llu\n",
+            "(%.1f%%), %llu retransmits (%llu fast) over %llu "
+            "timeouts; links dropped %llu, corrupted %llu, duplicated "
+            "%llu, delayed %llu -> retransmit ratio %.2fx\n",
             result.aggregateMbS, ref.aggregateMbS, ratio * 100,
             (unsigned long long)result.retransmits,
+            (unsigned long long)result.fastRetransmits,
             (unsigned long long)result.timeouts,
             (unsigned long long)result.faults.dropped,
             (unsigned long long)result.faults.corrupted,
             (unsigned long long)result.faults.duplicated,
-            (unsigned long long)result.faults.delayed);
+            (unsigned long long)result.faults.delayed, rtx_ratio);
         report.addMetric("goodput_mb_s", result.aggregateMbS);
         report.addMetric("goodput_fault_free_mb_s", ref.aggregateMbS);
         report.addMetric("goodput_ratio", ratio);
         report.addMetric("retransmits", double(result.retransmits));
+        report.addMetric("fast_retransmits",
+                         double(result.fastRetransmits));
+        report.addMetric("retransmit_ratio", rtx_ratio);
         report.addMetric("timeouts", double(result.timeouts));
         report.addMetric("fault_dropped", double(result.faults.dropped));
         report.addMetric("fault_corrupted",
@@ -367,7 +422,30 @@ main(int argc, char **argv)
         report.addMetric("rx_dup_dropped", double(result.rxDupDropped));
         report.addMetric("rx_corrupt_dropped",
                          double(result.rxCorruptDropped));
-        report.addMetric("rx_ooo_dropped", double(result.rxOooDropped));
+        report.addMetric("rx_ooo_buffered",
+                         double(result.rxOooBuffered));
+        report.addMetric("ecn_marked", double(result.ecnMarked));
+        report.addMetric("cwnd_cuts", double(result.cwndCuts));
+
+        // Hard regression gates for the netperf check step.
+        if (min_goodput >= 0 && ratio < min_goodput) {
+            std::fprintf(stderr,
+                         "NETPERF REGRESSION: goodput ratio %.3f is "
+                         "below the %.3f floor\n",
+                         ratio, min_goodput);
+            return 1;
+        }
+        if (max_retransmit_ratio >= 0
+            && rtx_ratio > max_retransmit_ratio) {
+            std::fprintf(stderr,
+                         "NETPERF REGRESSION: retransmit ratio %.2fx "
+                         "exceeds the %.2fx ceiling (%llu retransmits "
+                         "for %llu wire losses)\n",
+                         rtx_ratio, max_retransmit_ratio,
+                         (unsigned long long)result.retransmits,
+                         (unsigned long long)losses);
+            return 1;
+        }
     }
 
     char digest_hex[20];

@@ -102,8 +102,8 @@ parseFaultSpec(const std::string &spec, FaultConfig &out,
             *err << "--faults: bad token '" << tok
                  << "' (want drop=P, corrupt=P, dup=P, delay=P, "
                     "delay-us=N, degrade-drop=P, seed=N, "
-                    "down=S-D@F-T, degrade=S-D@F-T, no-retransmit "
-                    "or off)\n";
+                    "down=S-D@F-T, degrade=S-D@F-T, no-retransmit, "
+                    "no-fast-retransmit, sack-ignore or off)\n";
         }
         return false;
     };
@@ -121,6 +121,14 @@ parseFaultSpec(const std::string &spec, FaultConfig &out,
             continue;
         if (tok == "no-retransmit") {
             cfg.disableRetransmit = true;
+            continue;
+        }
+        if (tok == "no-fast-retransmit") {
+            cfg.disableFastRetransmit = true;
+            continue;
+        }
+        if (tok == "sack-ignore") {
+            cfg.ignoreSack = true;
             continue;
         }
         auto eq = tok.find('=');

@@ -79,6 +79,20 @@ struct FaultConfig
      */
     bool disableRetransmit = false;
 
+    /**
+     * Model-checker mutation: the sender's SACK scoreboard never fires
+     * fast retransmit, so every loss must wait out the full RTO — with
+     * a tight run deadline this manifests as a lost completion.
+     */
+    bool disableFastRetransmit = false;
+
+    /**
+     * Model-checker mutation: the sender discards the SACK bitmap
+     * (and the dup-ack signal derived from it), so selective repeat
+     * degrades to pure cumulative-ack + RTO recovery.
+     */
+    bool ignoreSack = false;
+
     /** Links that are dead for a window (`down=S-D@FROM-TOus`). */
     std::vector<LinkWindow> downWindows;
     /** Links with boosted drop for a window (`degrade=S-D@FROM-TO`). */
@@ -103,6 +117,8 @@ struct FaultConfig
  *   down=S-D@F-T                     link S->D down from F to T (us)
  *   degrade=S-D@F-T                  link S->D degraded from F to T
  *   no-retransmit                    disable NI retransmission
+ *   no-fast-retransmit               disable SACK fast retransmit
+ *   sack-ignore                      sender discards SACK bitmaps
  *   off                              explicitly no faults
  *
  * Returns false (diagnostic on @p err, @p out untouched) on a

@@ -83,17 +83,23 @@ NetworkInterface::NetworkInterface(sim::EventQueue &eq,
     statGroup_.addScalar("autoUpdatesCombined", &autoCombined_,
                          "stores merged by update combining");
     statGroup_.addScalar("retransmits", &retransmits_,
-                         "chunks re-sent by the go-back-N path");
+                         "chunks re-sent (fast retransmit + RTO)");
+    statGroup_.addScalar("fastRetransmits", &fastRetransmits_,
+                         "chunks re-sent by SACK fast retransmit");
     statGroup_.addScalar("timeouts", &timeouts_,
                          "retransmit-timer expiries");
     statGroup_.addScalar("acksSent", &acksSent_,
-                         "cumulative acknowledgments sent");
+                         "acknowledgments sent (cumulative + dup)");
     statGroup_.addScalar("rxDupDropped", &rxDupDropped_,
                          "duplicate chunks discarded at the receiver");
     statGroup_.addScalar("rxCorruptDropped", &rxCorruptDropped_,
                          "checksum-mismatch chunks discarded");
-    statGroup_.addScalar("rxOooDropped", &rxOooDropped_,
-                         "chunks discarded past a sequence gap");
+    statGroup_.addScalar("rxOooBuffered", &rxOooBuffered_,
+                         "chunks resequenced after arriving past a gap");
+    statGroup_.addScalar("ecnMarked", &ecnMarked_,
+                         "acks sent carrying the ECN overcommit mark");
+    statGroup_.addScalar("cwndCuts", &cwndCuts_,
+                         "congestion-window halvings (loss or ECN)");
     statGroup_.addHistogram("delivery_us", &deliveryUs_,
                             "sender start to last byte visible (us)");
 }
@@ -377,6 +383,7 @@ NetworkInterface::flowFor(NodeId dst)
     if (!f.inited) {
         f.credits = params_.niFifoBytes;
         f.retryTimeout = params_.niRetryTimeout();
+        f.cwnd.init(pumpChunkBytes, params_.niFifoBytes);
         f.inited = true;
     }
     return f;
@@ -496,6 +503,84 @@ NetworkInterface::armRetry(NodeId dst, TxFlow &flow)
         sim::EventPriority::DeviceCompletion);
 }
 
+std::uint32_t
+NetworkInterface::inflightBytes(const TxFlow &flow) const
+{
+    // Credits consumed but not yet returned are exactly the bytes the
+    // receiver has not drained — the flight size, with no separate
+    // counter to keep in sync.
+    return params_.niFifoBytes - flow.credits;
+}
+
+void
+NetworkInterface::cutWindow(TxFlow &flow)
+{
+    // One multiplicative decrease per flight: further loss/ECN
+    // signals from the same window carry no new information.
+    if (flow.cumAcked < flow.lastCwndCutSeq)
+        return;
+    flow.cwnd.onLoss(inflightBytes(flow));
+    flow.lastCwndCutSeq = flow.nextSeq;
+    ++cwndCuts_;
+}
+
+bool
+NetworkInterface::fastRetransmitPass(NodeId dst, TxFlow &flow)
+{
+    // `no-retransmit` kills every recovery path, not just the timer —
+    // otherwise the scoreboard would quietly heal the holes and the
+    // mutation would prove nothing.
+    const FaultConfig &fcfg = net_.faults().config();
+    if (fcfg.disableFastRetransmit || fcfg.disableRetransmit)
+        return false;
+    // RFC 6675's DupThresh rule applied per chunk: a hole with three
+    // or more SACKed chunks above it is considered lost rather than
+    // reordered, and is resent without waiting for the RTO. One
+    // backward sweep counts SACKed chunks above each hole; resends go
+    // out in ascending sequence order.
+    //
+    // Two refinements keep the RTO a genuine last resort:
+    //  - Early retransmit (RFC 5827): when the window is too small to
+    //    ever produce three duplicate acks, the threshold drops to
+    //    outstanding-1 (floor 1) — otherwise every loss in a
+    //    post-collapse window stalls a full RTO and the window never
+    //    recovers.
+    //  - Rescue retransmit: the links are FIFO, so once three more
+    //    SACK marks land after a chunk was resent while it stays
+    //    unSACKed, that resend was itself lost and may go again.
+    constexpr unsigned dupThresh = 3;
+    const unsigned thresh = std::min<std::size_t>(
+        dupThresh,
+        std::max<std::size_t>(1, flow.unacked.size() - 1));
+    std::vector<std::size_t> holes;
+    unsigned sackedAbove = 0;
+    for (std::size_t i = flow.unacked.size(); i-- > 0;) {
+        const TxChunk &c = flow.unacked[i];
+        if (c.sacked) {
+            ++sackedAbove;
+            continue;
+        }
+        if (sackedAbove < thresh)
+            continue;
+        if (!c.epochResent
+            || flow.sackSerial - c.resendSerial >= dupThresh)
+            holes.push_back(i);
+    }
+    for (auto it = holes.rbegin(); it != holes.rend(); ++it) {
+        TxChunk &c = flow.unacked[*it];
+        c.epochResent = true;
+        c.rexmitted = true;
+        c.resendSerial = flow.sackSerial;
+        ++fastRetransmits_;
+        netInstant(node_, "fastrtx", eq_.now(), dst, c.seq);
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " fast retransmit seq ", c.seq,
+                   " toward node ", dst);
+        transmit(dst, c, /*retransmit=*/true);
+    }
+    return !holes.empty();
+}
+
 void
 NetworkInterface::onRetryTimeout(NodeId dst)
 {
@@ -505,15 +590,51 @@ NetworkInterface::onRetryTimeout(NodeId dst)
         return;
     ++timeouts_;
     netInstant(node_, "rto", eq_.now(), dst, flow.unacked.front().seq);
-    trace::log(eq_.now(), trace::Category::NetFault, "node ", node_,
-               " retransmit timeout toward node ", dst, ": resending ",
-               flow.unacked.size(), " chunks from seq ",
-               flow.unacked.front().seq);
-    // Go-back-N: resend the whole unacknowledged window in order. The
-    // receiver accepts only the next expected sequence number, so
-    // anything it already has is discarded as a duplicate.
+    bool any_unsacked = false;
     for (const TxChunk &c : flow.unacked)
+        if (!c.sacked) {
+            any_unsacked = true;
+            break;
+        }
+    if (!any_unsacked) {
+        // Every chunk is SACKed but the cumulative acks that would
+        // return the credits were lost and the flow has gone silent.
+        // No data is missing, so nothing is "lost": poke the receiver
+        // with the oldest chunk (it dup-drops and re-acks the current
+        // cum) without collapsing the window.
+        TxChunk &c = flow.unacked.front();
+        c.rexmitted = true;
         transmit(dst, c, /*retransmit=*/true);
+        flow.retryTimeout =
+            std::min(flow.retryTimeout * 2, params_.niRetryTimeoutMax());
+        armRetry(dst, flow);
+        return;
+    }
+    trace::log(eq_.now(), trace::Category::NetFault, "node ", node_,
+               " retransmit timeout toward node ", dst,
+               ": resending first hole past seq ",
+               flow.unacked.front().seq);
+    // New epoch: every hole becomes eligible for one more resend.
+    for (TxChunk &c : flow.unacked)
+        c.epochResent = false;
+    // Selective repeat: resend only the first chunk the receiver does
+    // not hold. The rest of the window is repaired ack-clocked in
+    // rxAck as the cumulative ack climbs toward the recovery point —
+    // never re-flooded blind like go-back-N did.
+    for (TxChunk &c : flow.unacked) {
+        if (c.sacked)
+            continue;
+        c.epochResent = true;
+        c.rexmitted = true;
+        c.resendSerial = flow.sackSerial;
+        transmit(dst, c, /*retransmit=*/true);
+        break;
+    }
+    flow.inRtoRecovery = true;
+    flow.recoveryPoint = flow.nextSeq;
+    flow.cwnd.onRto(inflightBytes(flow));
+    flow.lastCwndCutSeq = flow.nextSeq;
+    ++cwndCuts_;
     // Capped exponential backoff.
     flow.retryTimeout =
         std::min(flow.retryTimeout * 2, params_.niRetryTimeoutMax());
@@ -561,6 +682,16 @@ NetworkInterface::pump()
     TxFlow &flow = flowFor(msg.dstNode);
     if (flow.credits < q)
         return;
+    // Congestion window: the effective window is min(cwnd, credits) —
+    // bytes in flight (credits consumed, not yet returned) plus this
+    // chunk must fit under cwnd too. rxAck re-pumps as cwnd reopens.
+    if (inflightBytes(flow) + q > flow.cwnd.cwnd)
+        return;
+    // Sequence window: never launch a chunk the 64-bit SACK bitmap of
+    // a future ack could not name (and whose arrival the receiver's
+    // resequencing buffer is not bounded for).
+    if (flow.nextSeq >= flow.cumAcked + sackWindow)
+        return;
     flow.credits -= q;
 
     bool msg_start = msg.launched == 0;
@@ -572,6 +703,7 @@ NetworkInterface::pump()
     chunk.msgStart = msg_start;
     chunk.msgEnd = msg_end;
     chunk.senderStart = msg.startTick;
+    chunk.firstSent = eq_.now();
     chunk.data.assign(msg.data.begin() + msg.launched,
                       msg.data.begin() + msg.launched + q);
     chunk.checksum =
@@ -606,34 +738,142 @@ NetworkInterface::pump()
 // --------------------------------------------------------------------
 
 void
-NetworkInterface::rxAck(NodeId dst, std::uint64_t cum)
+NetworkInterface::rxAck(NodeId dst, AckInfo ack)
 {
     TxFlow &flow = flowFor(dst);
-    if (cum <= flow.cumAcked)
-        return; // stale or duplicate ack
-    flow.cumAcked = cum;
-    while (!flow.unacked.empty() && flow.unacked.front().seq < cum) {
-        flow.credits += std::uint32_t(flow.unacked.front().data.size());
-        flow.unacked.pop_front();
+    if (ack.cum < flow.cumAcked)
+        return; // reordered stale ack: a newer one already arrived
+
+    const FaultConfig &fcfg = net_.faults().config();
+
+    // Apply the SACK bitmap first (sticky scoreboard: the bits are
+    // anchored to this ack's own cum, and a bit only ever marks a
+    // chunk received — a reordered ack can never un-SACK anything).
+    // A chunk's first SACK mark is also the RTT sample: the receiver
+    // acks every arrival, so send -> SACK measures the wire round
+    // trip the loss-detection clock should run on, not the incoming
+    // FIFO's drain sojourn that send -> cumulative-ack would measure.
+    // Karn's rule still applies: a retransmitted chunk's mark is
+    // ambiguous (which copy arrived?) and is never sampled.
+    if (ack.sack != 0 && !fcfg.ignoreSack) {
+        Tick rtt_sent = 0;
+        bool have_rtt = false;
+        for (TxChunk &c : flow.unacked) {
+            if (c.sacked || c.seq < ack.cum)
+                continue;
+            std::uint64_t off = c.seq - ack.cum;
+            if (off < sackWindow && (ack.sack >> off) & 1) {
+                c.sacked = true;
+                ++flow.sackSerial;
+                if (!c.rexmitted) {
+                    rtt_sent = c.firstSent;
+                    have_rtt = true;
+                }
+            }
+        }
+        if (have_rtt)
+            flow.rtt.sample(eq_.now() - rtt_sent);
     }
-    SHRIMP_ASSERT(flow.credits <= params_.niFifoBytes,
-                  "credit window overflow toward node ", dst);
-    // Progress: restart the retransmit clock from the initial timeout.
+
+    if (ack.cum == flow.cumAcked) {
+        if (!flow.unacked.empty())
+            ++flow.dupAcks; // receiver alive but stuck on a hole
+    } else {
+        flow.dupAcks = 0;
+        std::uint32_t acked_bytes = 0;
+        std::uint64_t acked_chunks = 0;
+        while (!flow.unacked.empty()
+               && flow.unacked.front().seq < ack.cum) {
+            TxChunk &c = flow.unacked.front();
+            flow.credits += std::uint32_t(c.data.size());
+            acked_bytes += std::uint32_t(c.data.size());
+            ++acked_chunks;
+            flow.unacked.pop_front();
+        }
+        flow.cumAcked = ack.cum;
+        SHRIMP_ASSERT(flow.credits <= params_.niFifoBytes,
+                      "credit window overflow toward node ", dst);
+        flow.cwnd.onAck(acked_bytes);
+        // Ack-clocked RTO repair: each cumulative advance pays for
+        // resending (newly acked + 1) not-yet-resent holes below the
+        // recovery point — the whole lost window heals in about one
+        // RTT per cwnd instead of one chunk per RTO.
+        if (flow.inRtoRecovery) {
+            if (flow.cumAcked >= flow.recoveryPoint) {
+                flow.inRtoRecovery = false;
+            } else {
+                std::uint64_t budget = acked_chunks + 1;
+                for (TxChunk &c : flow.unacked) {
+                    if (budget == 0 || c.seq >= flow.recoveryPoint)
+                        break;
+                    if (c.sacked || c.epochResent)
+                        continue;
+                    c.epochResent = true;
+                    c.rexmitted = true;
+                    c.resendSerial = flow.sackSerial;
+                    transmit(dst, c, /*retransmit=*/true);
+                    --budget;
+                }
+            }
+        }
+    }
+
+    // Every ack is liveness evidence: the retry timer is an
+    // ack-silence detector, so it restarts from the adaptive estimate
+    // (srtt + 4 rttvar, clamped) on any ack, duplicate or not. While
+    // evidence keeps flowing, the SACK scoreboard repairs holes; the
+    // timer only has to catch the flow going silent.
     if (flow.retryEvent.valid()) {
         eq_.deschedule(flow.retryEvent);
         flow.retryEvent = sim::EventHandle();
     }
-    flow.retryTimeout = params_.niRetryTimeout();
+    flow.retryTimeout =
+        flow.rtt.valid ? flow.rtt.rto(params_.niRtoMin(),
+                                      params_.niRetryTimeoutMax())
+                       : params_.niRetryTimeout();
     armRetry(dst, flow);
-    // A chunk may be stalled on this window; re-evaluate (idempotent,
-    // returns immediately when the pump is mid-flight or idle).
+
+    // The scoreboard runs on every ack — dup acks carry fresh SACK
+    // bits even without cumulative progress. A fired fast retransmit
+    // repairs the hole but does not halve the window: the per-dest
+    // credit window already bounds the flight at one receive FIFO, so
+    // an isolated wire loss is line noise, not congestion — halving
+    // on it caps goodput near 40% at the 7% combined loss rate this
+    // transport is specified against. The two genuine congestion
+    // signals both cut: an ECN-marked ack (receive FIFO overcommitted
+    // by converging senders) here, and a retransmit timeout (the flow
+    // went silent) in onRetryTimeout.
+    fastRetransmitPass(dst, flow);
+    if (ack.ecn)
+        cutWindow(flow);
+
+    // A chunk may be stalled on the credit/cwnd/seq window;
+    // re-evaluate (idempotent, returns immediately when the pump is
+    // mid-flight or idle).
     pump();
 }
 
 void
-NetworkInterface::sendAck(NodeId src, std::uint64_t cum)
+NetworkInterface::sendAck(NodeId src)
 {
+    RxFlow &flow = rxFlowFor(src);
     ++acksSent_;
+
+    AckInfo ack;
+    ack.cum = flow.drained;
+    std::vector<std::uint64_t> held;
+    held.reserve(flow.ooo.size());
+    for (const auto &kv : flow.ooo)
+        held.push_back(kv.first);
+    ack.sack = sackEncode(flow.drained, flow.expected, held);
+    // ECN-style congestion mark: several senders' credit windows have
+    // converged on this node and overcommitted the incoming FIFO
+    // beyond its nominal capacity. Purely local state, so the mark is
+    // deterministic under sharding.
+    ack.ecn = rxFifoBytes_ > params_.niFifoBytes;
+    if (ack.ecn)
+        ++ecnMarked_;
+
     // Acks ride the reverse link's control path: the fault model may
     // drop or delay them (a lost ack is recovered by the sender's
     // timer), but never corrupts or duplicates control messages.
@@ -641,21 +881,22 @@ NetworkInterface::sendAck(NodeId src, std::uint64_t cum)
         net_.faults().decide(node_, src, eq_.now(), /*control=*/true);
     if (fd.action == FaultAction::Drop) {
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
-                   node_, " ack to node ", src, " (cum ", cum,
+                   node_, " ack to node ", src, " (cum ", ack.cum,
                    ") dropped");
         return;
     }
-    // An ack is a real header-sized packet: it serializes on this
-    // node's injection link (contending with its own data traffic)
-    // before taking the hop. That also makes the ack path respect
+    // An ack is a real control packet — header plus the 8-byte SACK
+    // word — so it serializes on this node's injection link
+    // (contending with its own data traffic) before taking the hop.
+    // Being strictly larger than a bare header, it still respects
     // Interconnect::minDeliveryLatency — the floor the sharded
     // engine's lookahead matrix is derived from.
-    Tick injected =
-        net_.acquireLink(node_, params_.niHeaderBytes, eq_.now());
+    Tick injected = net_.acquireLink(
+        node_, params_.niHeaderBytes + sizeof(ack.sack), eq_.now());
     Tick when = injected + net_.hopLatency() + fd.extraDelay;
     NetworkInterface *sender = net_.ni(src);
     postToNode(src, when, "ni.ack",
-               [sender, me = node_, cum] { sender->rxAck(me, cum); });
+               [sender, me = node_, ack] { sender->rxAck(me, ack); });
 }
 
 void
@@ -673,29 +914,55 @@ NetworkInterface::rxDeliver(const ChunkHeader &h,
         return; // no ack: the sender's timer recovers it
     }
     RxFlow &flow = rxFlowFor(h.src);
-    if (h.seq < flow.expected) {
-        // Already accepted (duplicate or retransmission overlap).
-        // Re-ack so a sender whose ack was lost makes progress.
+    if (h.seq < flow.expected || flow.ooo.count(h.seq) != 0) {
+        // Already held (duplicate or retransmission overlap). Re-ack
+        // so a sender whose ack was lost makes progress — and hands
+        // it the current SACK view while we are at it.
         ++rxDupDropped_;
-        sendAck(h.src, flow.drained);
+        sendAck(h.src);
         return;
     }
-    if (h.seq > flow.expected) {
-        // Past a gap (an earlier chunk was lost): go-back-N discards
-        // and waits for the sender to rewind.
-        ++rxOooDropped_;
-        trace::log(eq_.now(), trace::Category::NetFault, "node ",
-                   node_, " discarding out-of-order chunk seq ", h.seq,
-                   " from node ", h.src, " (expected ", flow.expected,
-                   ")");
-        return;
-    }
-    flow.expected = h.seq + 1;
+    // The sender never launches past cumAcked + sackWindow and its
+    // cumAcked never exceeds our drain watermark, so every arrival
+    // fits the resequencing window by construction.
+    SHRIMP_ASSERT(h.seq < flow.drained + sackWindow,
+                  "chunk past the SACK window from node ", h.src);
     auto len = std::uint32_t(data.size());
     rxFifoBytes_ += len;
+    if (h.seq > flow.expected) {
+        // Past a gap (an earlier chunk is missing): park it in the
+        // resequencing buffer and send an immediate duplicate ack so
+        // the sender's scoreboard learns about the hole without
+        // waiting for a timer.
+        ++rxOooBuffered_;
+        trace::log(eq_.now(), trace::Category::NetFault, "node ",
+                   node_, " buffering out-of-order chunk seq ", h.seq,
+                   " from node ", h.src, " (expected ", flow.expected,
+                   ")");
+        flow.ooo.emplace(h.seq,
+                         RxChunk{h.src, h.seq, h.dstAddr,
+                                 std::move(data), h.msgStart, h.msgEnd,
+                                 h.senderStart});
+        sendAck(h.src);
+        return;
+    }
+    // In order: accept it, then release everything the buffer holds
+    // contiguously behind it.
+    flow.expected = h.seq + 1;
     rxChunks_.push_back(RxChunk{h.src, h.seq, h.dstAddr,
                                 std::move(data), h.msgStart, h.msgEnd,
                                 h.senderStart});
+    auto it = flow.ooo.begin();
+    while (it != flow.ooo.end() && it->first == flow.expected) {
+        flow.expected = it->first + 1;
+        rxChunks_.push_back(std::move(it->second));
+        it = flow.ooo.erase(it);
+    }
+    // Ack the arrival itself (the SACK bits cover [drained, expected)
+    // so the sender sees the chunk land now), not just the eventual
+    // drain: loss evidence and the sender's silence clock must run at
+    // wire speed, not at the incoming FIFO's EISA drain rate.
+    sendAck(h.src);
     rxPump();
 }
 
@@ -731,7 +998,7 @@ NetworkInterface::rxPump()
             // The cumulative ack doubles as the credit return: it
             // tells the sender this chunk left the incoming FIFO
             // (self-sends included, so the accounting is uniform).
-            sendAck(chunk.src, flow.drained);
+            sendAck(chunk.src);
             if (chunk.msgEnd) {
                 // The completion flag/word becomes visible a little
                 // after the data (write buffers, ordering).
@@ -791,8 +1058,24 @@ NetworkInterface::txFlowDebug() const
         dbg.nextSeq = f.nextSeq;
         dbg.cumAcked = f.cumAcked;
         dbg.unackedChunks = f.unacked.size();
-        for (const TxChunk &c : f.unacked)
+        dbg.dupAcks = f.dupAcks;
+        dbg.cwnd = f.cwnd.cwnd;
+        dbg.ssthresh = f.cwnd.ssthresh;
+        dbg.srttUs = f.rtt.valid ? ticksToUs(f.rtt.srtt) : 0;
+        dbg.rtoUs = ticksToUs(f.retryTimeout);
+        dbg.inRecovery = f.inRtoRecovery;
+        for (const TxChunk &c : f.unacked) {
             dbg.unackedBytes += c.data.size();
+            if (!c.sacked)
+                continue;
+            ++dbg.sackedChunks;
+            if (!dbg.sackRanges.empty()
+                && dbg.sackRanges.back().second + 1 == c.seq) {
+                dbg.sackRanges.back().second = c.seq;
+            } else {
+                dbg.sackRanges.emplace_back(c.seq, c.seq);
+            }
+        }
         out.push_back(dbg);
     }
     return out;

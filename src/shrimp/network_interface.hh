@@ -15,18 +15,25 @@
  * observable through an optional callback (benchmarks) and by polling
  * memory (user programs), just like the real system.
  *
- * Reliability: the backplane may misbehave (shrimp/fault.hh), so each
- * chunk carries an FNV-1a checksummed header with a per-flow sequence
- * number. The receiver discards corrupt, duplicate, and out-of-order
- * chunks, accepts exactly the next expected sequence number per
- * source, and returns a cumulative acknowledgment one hop after its
- * EISA DMA drains a chunk into memory. The sender keeps every
- * unacknowledged chunk in a board-side retransmit buffer and re-sends
- * the whole window (go-back-N) when the retransmit timer — re-armed
- * afresh on every cumulative-ack advance, doubled up to a cap on each
- * expiry — fires. On a healthy link the timer never fires and the ack
- * doubles as the credit return, so the fault-free fast path is
- * unchanged in shape.
+ * Reliability (selective repeat): the backplane may misbehave
+ * (shrimp/fault.hh), so each chunk carries an FNV-1a checksummed
+ * header with a per-flow sequence number. The receiver discards
+ * corrupt chunks, deduplicates, *buffers* out-of-order chunks in a
+ * per-source resequencing buffer (bounded by the sender's 64-seq
+ * window), and returns a cumulative ack + 64-bit SACK bitmap one hop
+ * after its EISA DMA drains a chunk — plus an immediate duplicate ack
+ * whenever a chunk lands past a gap, so the sender learns about holes
+ * without waiting for a timer. The sender keeps every unacknowledged
+ * chunk in a board-side retransmit buffer, marks chunks the bitmap
+ * names as received, and re-sends only the missing ones: a hole with
+ * three or more SACKed chunks above it is retransmitted immediately
+ * (fast retransmit, RFC 6675 style); everything else waits for the
+ * RTO, which tracks a Jacobson SRTT/RTTVAR estimate (Karn's rule:
+ * retransmitted chunks never feed it) instead of the fixed ladder.
+ * After an RTO the sender resends one chunk and then repairs the rest
+ * of the window ack-clocked, never re-flooding it blind. On a healthy
+ * link no timer fires and the ack doubles as the credit return, so
+ * the fault-free fast path is unchanged in shape.
  *
  * Flow control is credit-based and entirely sender-side: each sender
  * holds a credit window per destination, sized to the receiver's
@@ -35,7 +42,14 @@
  * chunk. A slow receiver therefore backpressures the sender's
  * outgoing FIFO and, through it, the UDMA engine — without the sender
  * ever reading receiver state synchronously, which is what lets nodes
- * run on separate simulation shards (sim/sharded.hh).
+ * run on separate simulation shards (sim/sharded.hh). Layered under
+ * the credits sits an AIMD congestion window (transport.hh): the pump
+ * keeps outstanding bytes below min(cwnd, credits); cwnd opens at the
+ * full credit size, halves when loss is detected or when an ack
+ * arrives ECN-marked (the receiver's FIFO was overcommitted by
+ * converging senders), collapses to one chunk on RTO, and recovers by
+ * slow start then additive increase. Hot receivers thus shed load
+ * smoothly instead of collapsing under retransmit storms.
  *
  * All cross-node traffic (chunk deliveries and acks) is posted
  * through an optional sim::NodeRouter at >= one hop in the future
@@ -61,6 +75,7 @@
 #include "mem/physical_memory.hh"
 #include "shrimp/interconnect.hh"
 #include "shrimp/nipt.hh"
+#include "shrimp/transport.hh"
 #include "sim/event_queue.hh"
 #include "sim/params.hh"
 #include "sim/stats.hh"
@@ -114,6 +129,19 @@ struct TxFlowDebug
     std::uint64_t cumAcked = 0;
     std::uint64_t unackedChunks = 0;
     std::uint64_t unackedBytes = 0;
+    /** Chunks the receiver has SACKed but not yet drained. */
+    std::uint64_t sackedChunks = 0;
+    /** Consecutive acks seen with no cumulative progress. */
+    std::uint64_t dupAcks = 0;
+    std::uint32_t cwnd = 0;
+    std::uint32_t ssthresh = 0;
+    /** Smoothed RTT (0 before the first sample) and current RTO. */
+    double srttUs = 0;
+    double rtoUs = 0;
+    /** Ack-clocked RTO recovery is repairing the window. */
+    bool inRecovery = false;
+    /** Contiguous [first, last] runs of SACKed seqs in the window. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sackRanges;
 };
 
 /** One node's SHRIMP NI. */
@@ -198,17 +226,23 @@ class NetworkInterface : public dma::UdmaDevice
     Tick lastDeliveryTick() const { return lastDelivery_; }
 
     // ------------------------------------------ reliability counters
-    /** Chunks re-sent by the go-back-N retransmit path. */
+    /** Chunks re-sent (fast retransmit + RTO recovery together). */
     std::uint64_t retransmits() const
     {
         return std::uint64_t(retransmits_.value());
+    }
+    /** Chunks re-sent by the SACK-scoreboard fast-retransmit path
+     *  (a subset of retransmits()). */
+    std::uint64_t fastRetransmits() const
+    {
+        return std::uint64_t(fastRetransmits_.value());
     }
     /** Retransmit-timer expiries. */
     std::uint64_t timeouts() const
     {
         return std::uint64_t(timeouts_.value());
     }
-    /** Cumulative acks this node sent as a receiver. */
+    /** Acks (cumulative + duplicate) this node sent as a receiver. */
     std::uint64_t acksSent() const
     {
         return std::uint64_t(acksSent_.value());
@@ -223,10 +257,20 @@ class NetworkInterface : public dma::UdmaDevice
     {
         return std::uint64_t(rxCorruptDropped_.value());
     }
-    /** Chunks discarded for arriving past a sequence gap. */
-    std::uint64_t rxOutOfOrderDropped() const
+    /** Chunks that arrived past a gap and were resequenced. */
+    std::uint64_t rxOutOfOrderBuffered() const
     {
-        return std::uint64_t(rxOooDropped_.value());
+        return std::uint64_t(rxOooBuffered_.value());
+    }
+    /** Acks this node sent with the ECN (FIFO overcommit) mark. */
+    std::uint64_t ecnMarked() const
+    {
+        return std::uint64_t(ecnMarked_.value());
+    }
+    /** Times a sender flow halved its congestion window. */
+    std::uint64_t cwndCuts() const
+    {
+        return std::uint64_t(cwndCuts_.value());
     }
 
     /**
@@ -282,11 +326,14 @@ class NetworkInterface : public dma::UdmaDevice
     void rxDeliver(const ChunkHeader &h, std::vector<std::uint8_t> data);
 
     /**
-     * A cumulative ack from node @p dst: its receive DMA has drained
-     * every chunk of ours below sequence number @p cum. Releases the
-     * acked chunks' credits and retransmit-buffer slots.
+     * An acknowledgment from node @p dst: `ack.cum` says its receive
+     * DMA has drained every chunk of ours below that sequence number
+     * (releasing those chunks' credits and retransmit-buffer slots),
+     * the SACK bitmap names chunks received past the gap, and the ECN
+     * mark reports receive-FIFO overcommit. Drives the SACK
+     * scoreboard, the RTT estimator, and the congestion window.
      */
-    void rxAck(NodeId dst, std::uint64_t cum);
+    void rxAck(NodeId dst, AckInfo ack);
 
   private:
     struct TxMessage
@@ -309,6 +356,19 @@ class NetworkInterface : public dma::UdmaDevice
         bool msgEnd = false;
         Tick senderStart = 0;
         std::uint64_t checksum = 0;
+        /** First-transmission tick (RTT sampling; Karn's rule). */
+        Tick firstSent = 0;
+        /** SACK scoreboard: the receiver holds this chunk. */
+        bool sacked = false;
+        /** Already resent since the last RTO epoch began. */
+        bool epochResent = false;
+        /** TxFlow::sackSerial at the last resend: once three more
+         *  SACK marks land while this chunk stays unSACKed, the
+         *  resend itself was lost (links are FIFO) and the scoreboard
+         *  may rescue-retransmit it without waiting for the RTO. */
+        std::uint64_t resendSerial = 0;
+        /** Ever retransmitted (disqualifies its RTT sample). */
+        bool rexmitted = false;
         std::vector<std::uint8_t> data;
     };
 
@@ -322,18 +382,21 @@ class NetworkInterface : public dma::UdmaDevice
         std::deque<TxChunk> unacked;
         sim::EventHandle retryEvent;
         Tick retryTimeout = 0;
-    };
-
-    /** Per-source receiver state (dedup, in-order accept, digest). */
-    struct RxFlow
-    {
-        /** Next sequence number this receiver accepts. */
-        std::uint64_t expected = 0;
-        /** Chunks fully drained into memory (the cumulative ack). */
-        std::uint64_t drained = 0;
-        /** FNV-1a over drained payload bytes, in sequence order. */
-        std::uint64_t dataDigest = 0x6368756e6b646967ull;
-        bool touched = false;
+        RttEstimator rtt;
+        CongestionWindow cwnd;
+        /** Acks seen with no cumulative progress while data is out. */
+        std::uint64_t dupAcks = 0;
+        /** Monotone count of chunks newly SACKed on this flow — the
+         *  evidence clock the rescue-retransmit rule compares
+         *  TxChunk::resendSerial against. */
+        std::uint64_t sackSerial = 0;
+        /** Ack-clocked repair after an RTO runs until cumAcked
+         *  reaches this (the nextSeq at expiry). */
+        std::uint64_t recoveryPoint = 0;
+        bool inRtoRecovery = false;
+        /** cwnd cuts are rate-limited to one per flight: no new cut
+         *  until the cum ack passes the nextSeq of the last cut. */
+        std::uint64_t lastCwndCutSeq = 0;
     };
 
     struct RxChunk
@@ -345,6 +408,25 @@ class NetworkInterface : public dma::UdmaDevice
         bool msgStart = false;
         bool msgEnd = false;
         Tick senderStart = 0;
+    };
+
+    /** Per-source receiver state (dedup, resequencing, digest). */
+    struct RxFlow
+    {
+        /** Next in-order sequence number (everything below arrived). */
+        std::uint64_t expected = 0;
+        /** Chunks fully drained into memory (the cumulative ack). */
+        std::uint64_t drained = 0;
+        /** FNV-1a over drained payload bytes, in sequence order. */
+        std::uint64_t dataDigest = 0x6368756e6b646967ull;
+        bool touched = false;
+        /**
+         * Resequencing buffer: chunks received past a gap, keyed by
+         * seq. Bounded by the sender's sackWindow (64 chunks): the
+         * sender never launches past cumAcked + 64, and cumAcked
+         * never exceeds our drain watermark.
+         */
+        std::map<std::uint64_t, RxChunk> ooo;
     };
 
     void pump();
@@ -366,11 +448,25 @@ class NetworkInterface : public dma::UdmaDevice
 
     /** Arm the per-flow retransmit timer if it is not running. */
     void armRetry(NodeId dst, TxFlow &flow);
-    /** Timer expiry: go-back-N retransmit, back off, re-arm. */
+    /** Timer expiry: resend the first hole, enter ack-clocked
+     *  recovery, collapse cwnd, back off, re-arm. */
     void onRetryTimeout(NodeId dst);
 
-    /** Post the cumulative ack for @p src's flow (fault-exposed). */
-    void sendAck(NodeId src, std::uint64_t cum);
+    /**
+     * SACK scoreboard pass: fast-retransmit every hole with >= 3
+     * SACKed chunks above it that was not already resent this epoch.
+     * Returns true if anything was resent (a loss signal for cwnd).
+     */
+    bool fastRetransmitPass(NodeId dst, TxFlow &flow);
+
+    /** Halve cwnd, at most once per flight (loss or ECN signal). */
+    void cutWindow(TxFlow &flow);
+
+    /** Bytes in flight toward this flow's destination. */
+    std::uint32_t inflightBytes(const TxFlow &flow) const;
+
+    /** Post the ack (cum + SACK + ECN) for @p src (fault-exposed). */
+    void sendAck(NodeId src);
 
     /** Post an event to @p dst through the router (or locally). */
     void postToNode(NodeId dst, Tick when, const char *name,
@@ -436,11 +532,14 @@ class NetworkInterface : public dma::UdmaDevice
     stats::Scalar delivered_;
     stats::Scalar rxBytes_;
     stats::Scalar retransmits_;
+    stats::Scalar fastRetransmits_;
     stats::Scalar timeouts_;
     stats::Scalar acksSent_;
     stats::Scalar rxDupDropped_;
     stats::Scalar rxCorruptDropped_;
-    stats::Scalar rxOooDropped_;
+    stats::Scalar rxOooBuffered_;
+    stats::Scalar ecnMarked_;
+    stats::Scalar cwndCuts_;
     /** Sender engine start to last byte in memory, microseconds. */
     stats::Histogram deliveryUs_{0, 1024, 32};
     stats::StatGroup statGroup_{"ni"};

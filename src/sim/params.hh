@@ -108,6 +108,14 @@ struct MachineParams
     /** Retransmit-backoff ceiling (us). */
     double niRetryTimeoutMaxUs = 3200.0;
 
+    /**
+     * Floor for the RTT-adaptive retransmit timeout (us). Once the
+     * sender has SRTT/RTTVAR samples the RTO tracks srtt + 4*rttvar,
+     * but never below this — a spuriously small variance must not
+     * turn one delayed ack into a retransmit storm.
+     */
+    double niRtoMinUs = 50.0;
+
     // ----------------------------------------------------- interconnect
     /** Backplane link bandwidth (bytes/s). Paragon mesh class. */
     double linkBytesPerSec = 200e6;
@@ -203,6 +211,7 @@ struct MachineParams
     {
         return Tick(niRetryTimeoutMaxUs * tickUs);
     }
+    Tick niRtoMin() const { return Tick(niRtoMinUs * tickUs); }
     Tick linkLatency() const { return Tick(linkLatencyNs * tickNs); }
     Tick quantum() const { return Tick(quantumUs * tickUs); }
     Tick swapPage() const { return Tick(swapPageUs * tickUs); }

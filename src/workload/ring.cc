@@ -55,7 +55,26 @@ runRing(const RingConfig &cfg)
         sys.engine()->setProfiler(cfg.profiler);
 
     const unsigned nodes = cfg.nodes;
-    std::vector<msg::ChannelRendezvous> rv(nodes);
+
+    // The traffic topology as a link list: ring streams n -> n+1,
+    // hotspot streams every n >= 1 into node 0 (N-1 credit windows
+    // converging on one receive FIFO — the congestion stress case).
+    struct Link
+    {
+        unsigned src;
+        unsigned dst;
+    };
+    std::vector<Link> links;
+    if (cfg.hotspot) {
+        for (unsigned n = 1; n < nodes; ++n)
+            links.push_back(Link{n, 0});
+    } else {
+        for (unsigned n = 0; n < nodes; ++n)
+            links.push_back(Link{n, (n + 1) % nodes});
+    }
+    const unsigned nlinks = unsigned(links.size());
+
+    std::vector<msg::ChannelRendezvous> rv(nlinks);
     for (auto &r : rv) {
         SHRIMP_ASSERT(cfg.recordBytes <= r.payloadCapacity(),
                       "record larger than a channel slot");
@@ -64,43 +83,47 @@ runRing(const RingConfig &cfg)
     // Host-shared, but written only under runSetup (sequential) or by
     // exactly one node's shard (its own slot), so the data phase is
     // race-free.
-    std::vector<Tick> started(nodes, 0);
-    std::vector<Tick> done(nodes, 0);
+    std::vector<Tick> linkStarted(nlinks, 0);
+    std::vector<Tick> linkDone(nlinks, 0);
     unsigned ready = 0;
 
-    for (unsigned n = 0; n < nodes; ++n) {
-        auto *me = &sys.node(n);
-        auto *right = &sys.node((n + 1) % nodes);
+    for (unsigned li = 0; li < nlinks; ++li) {
+        auto *src_node = &sys.node(links[li].src);
+        auto *dst_node = &sys.node(links[li].dst);
+        NodeId src_id = links[li].src;
+        NodeId dst_id = links[li].dst;
 
-        // Receiver half: accept from the left neighbour.
-        me->kernel().spawn(
-            "recv" + std::to_string(n),
-            [&, me, n](os::UserContext &ctx) -> sim::ProcTask {
-                NodeId left = (n + nodes - 1) % nodes;
-                msg::ReceiverChannel ch(ctx, 0, *me->ni(), left);
-                if (!co_await ch.bind(rv[left]))
-                    fatal("bind failed on node ", n);
+        // Receiver half of this link, on its destination node.
+        dst_node->kernel().spawn(
+            "recv" + std::to_string(li),
+            [&, dst_node, src_id, li](os::UserContext &ctx)
+                -> sim::ProcTask {
+                msg::ReceiverChannel ch(ctx, 0, *dst_node->ni(),
+                                        src_id);
+                if (!co_await ch.bind(rv[li]))
+                    fatal("bind failed on link ", li);
                 ++ready;
                 for (unsigned r = 0; r < cfg.records; ++r) {
                     std::uint32_t len = 0;
                     (void)co_await ch.recvZeroCopy(len);
                     co_await ch.ackLast();
                 }
-                done[n] = ctx.kernel().eq().now();
+                linkDone[li] = ctx.kernel().eq().now();
             });
 
-        // Sender half: stream to the right neighbour.
-        me->kernel().spawn(
-            "send" + std::to_string(n),
-            [&, me, right, n](os::UserContext &ctx) -> sim::ProcTask {
-                msg::SenderChannel ch(ctx, 0, *me->ni(), right->id());
-                if (!co_await ch.connect(rv[n]))
-                    fatal("connect failed on node ", n);
+        // Sender half of this link, on its source node.
+        src_node->kernel().spawn(
+            "send" + std::to_string(li),
+            [&, src_node, dst_id, li](os::UserContext &ctx)
+                -> sim::ProcTask {
+                msg::SenderChannel ch(ctx, 0, *src_node->ni(), dst_id);
+                if (!co_await ch.connect(rv[li]))
+                    fatal("connect failed on link ", li);
                 Addr buf = co_await ctx.sysAllocMemory(cfg.recordBytes);
                 for (Addr off = 0; off < cfg.recordBytes; off += 4096)
-                    co_await ctx.store(buf + off, n);
+                    co_await ctx.store(buf + off, li);
                 ++ready;
-                started[n] = ctx.kernel().eq().now();
+                linkStarted[li] = ctx.kernel().eq().now();
                 for (unsigned r = 0; r < cfg.records; ++r)
                     co_await ch.send(buf, cfg.recordBytes);
             });
@@ -108,7 +131,7 @@ runRing(const RingConfig &cfg)
 
     // Phase 1: channel setup, sequential canonical order (the only
     // phase whose events read host state across nodes).
-    sys.runSetup([&] { return ready == 2 * nodes; }, cfg.limit);
+    sys.runSetup([&] { return ready == 2 * nlinks; }, cfg.limit);
 
     // Phase 2: the timed, parallel data phase.
     if (cfg.profiler)
@@ -134,6 +157,34 @@ runRing(const RingConfig &cfg)
     }
 
     res.faults = sys.net().faults().totals();
+    res.linksTotal = nlinks;
+
+    // Per-node start/done ticks derived from the links: a node's
+    // start is its sender link's first record (each node sends on at
+    // most one link in both topologies); a node is done only when
+    // every link it receives on has seen all its records.
+    std::vector<Tick> started(nodes, 0);
+    std::vector<Tick> done(nodes, 0);
+    std::vector<bool> allDone(nodes, true);
+    std::vector<bool> receives(nodes, false);
+    for (unsigned li = 0; li < nlinks; ++li) {
+        started[links[li].src] = linkStarted[li];
+        receives[links[li].dst] = true;
+        if (linkDone[li] == 0)
+            allDone[links[li].dst] = false;
+        else if (linkDone[li] > done[links[li].dst])
+            done[links[li].dst] = linkDone[li];
+        if (linkDone[li] != 0)
+            ++res.linksDone;
+    }
+    for (unsigned n = 0; n < nodes; ++n) {
+        if (!allDone[n])
+            done[n] = 0;
+        // Send-only nodes (hotspot) never count: completion there is
+        // linksDone == linksTotal, not a per-receiver-node property.
+        if (receives[n] && done[n] != 0)
+            ++res.nodesDone;
+    }
 
     Fnv fnv;
     fnv.mix(res.simTicks);
@@ -147,13 +198,14 @@ runRing(const RingConfig &cfg)
         res.bytesDelivered += ni->bytesDelivered();
         res.contextSwitches += node.kernel().contextSwitches();
         res.retransmits += ni->retransmits();
+        res.fastRetransmits += ni->fastRetransmits();
         res.timeouts += ni->timeouts();
         res.acksSent += ni->acksSent();
         res.rxDupDropped += ni->rxDuplicatesDropped();
         res.rxCorruptDropped += ni->rxCorruptDropped();
-        res.rxOooDropped += ni->rxOutOfOrderDropped();
-        if (done[n] != 0)
-            ++res.nodesDone;
+        res.rxOooBuffered += ni->rxOutOfOrderBuffered();
+        res.ecnMarked += ni->ecnMarked();
+        res.cwndCuts += ni->cwndCuts();
         for (const auto &f : ni->txFlowDebug()) {
             if (f.unackedChunks == 0)
                 continue;
@@ -164,7 +216,10 @@ runRing(const RingConfig &cfg)
                 + std::to_string(f.unackedChunks)
                 + " chunks unacked (next seq "
                 + std::to_string(f.nextSeq) + ", cum acked "
-                + std::to_string(f.cumAcked) + ")");
+                + std::to_string(f.cumAcked) + ", "
+                + std::to_string(f.sackedChunks)
+                + " sacked, cwnd " + std::to_string(f.cwnd)
+                + (f.inRecovery ? ", in RTO recovery)" : ")"));
         }
         data.mix(ni->rxDataDigest());
 
@@ -176,11 +231,14 @@ runRing(const RingConfig &cfg)
         fnv.mix(ni->lastDeliveryTick());
         fnv.mix(node.kernel().contextSwitches());
         fnv.mix(ni->retransmits());
+        fnv.mix(ni->fastRetransmits());
         fnv.mix(ni->timeouts());
         fnv.mix(ni->acksSent());
         fnv.mix(ni->rxDuplicatesDropped());
         fnv.mix(ni->rxCorruptDropped());
-        fnv.mix(ni->rxOutOfOrderDropped());
+        fnv.mix(ni->rxOutOfOrderBuffered());
+        fnv.mix(ni->ecnMarked());
+        fnv.mix(ni->cwndCuts());
         fnv.mix(ni->rxDataDigest());
     }
     res.dataDigest = data.h;
@@ -192,10 +250,10 @@ runRing(const RingConfig &cfg)
     fnv.mix(res.faults.downDropped);
     res.digest = fnv.h;
 
-    for (unsigned n = 0; n < nodes; ++n) {
-        unsigned left = (n + nodes - 1) % nodes;
-        Tick dt = done[n] > started[left] ? done[n] - started[left]
-                                          : 0;
+    for (unsigned li = 0; li < nlinks; ++li) {
+        Tick dt = linkDone[li] > linkStarted[li]
+                      ? linkDone[li] - linkStarted[li]
+                      : 0;
         if (dt == 0)
             continue;
         double us = ticksToUs(dt);

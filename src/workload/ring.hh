@@ -1,11 +1,13 @@
 /**
  * @file
- * The multi-node ring-traffic workload behind bench/multinode_traffic
- * and the shard-determinism tests: N nodes in a ring, every node
- * simultaneously streaming fixed-size records to its right neighbour
- * through a user-level msg::Channel (deliberate-update payloads,
+ * The multi-node traffic workload behind bench/multinode_traffic and
+ * the shard-determinism tests: N nodes streaming fixed-size records
+ * through user-level msg::Channels (deliberate-update payloads,
  * automatic-update credits), generalizing the paper's four-processor
- * prototype run to any node count.
+ * prototype run to any node count. Two topologies: the default ring
+ * (every node streams to its right neighbour) and hotspot (every
+ * node streams to node 0 — the congestion-control stress case, where
+ * N-1 credit windows converge on one receiver FIFO).
  *
  * The run has two phases. Channel setup rendezvouses through
  * host-shared ChannelRendezvous objects, so it executes under
@@ -47,6 +49,11 @@ namespace shrimp::workload
 struct RingConfig
 {
     unsigned nodes = 4;
+    /**
+     * Hotspot topology: every node n >= 1 streams its records to
+     * node 0 instead of around the ring. Node 0 only receives.
+     */
+    bool hotspot = false;
     unsigned records = 64;
     /** Per-record payload; must fit one channel slot (<= 4080). */
     std::uint32_t recordBytes = 4080;
@@ -95,11 +102,18 @@ struct RingResult
 
     // --- reliability outputs (also folded into digest).
     std::uint64_t retransmits = 0;
+    /** SACK-scoreboard fast retransmits (subset of retransmits). */
+    std::uint64_t fastRetransmits = 0;
     std::uint64_t timeouts = 0;
     std::uint64_t acksSent = 0;
     std::uint64_t rxDupDropped = 0;
     std::uint64_t rxCorruptDropped = 0;
-    std::uint64_t rxOooDropped = 0;
+    /** Out-of-order chunks resequenced (never dropped anymore). */
+    std::uint64_t rxOooBuffered = 0;
+    /** Acks sent with the ECN (receive-FIFO overcommit) mark. */
+    std::uint64_t ecnMarked = 0;
+    /** Congestion-window halvings across all sender flows. */
+    std::uint64_t cwndCuts = 0;
     /** Merged interconnect fault counters (what the links did). */
     net::FaultCounters faults;
     /**
@@ -111,8 +125,12 @@ struct RingResult
     std::uint64_t dataDigest = 0;
 
     // --- completion accounting (the lost-completion trace).
-    /** Nodes whose receiver saw all its records. */
+    /** Nodes all of whose receive links saw every record. */
     unsigned nodesDone = 0;
+    /** Traffic links in the topology (ring: N, hotspot: N-1). */
+    unsigned linksTotal = 0;
+    /** Links whose receiver saw every record. */
+    unsigned linksDone = 0;
     /** Chunks still sitting in sender retransmit buffers at the end. */
     std::uint64_t chunksUnacked = 0;
     /** Human-readable unfinished flows ("node0 -> node1: ..."). */

@@ -93,11 +93,14 @@ TEST(FaultRecovery, ShardCountInvariantUnderFaults)
     EXPECT_EQ(seq.simEvents, par.simEvents);
     EXPECT_EQ(seq.bytesRouted, par.bytesRouted);
     EXPECT_EQ(seq.retransmits, par.retransmits);
+    EXPECT_EQ(seq.fastRetransmits, par.fastRetransmits);
     EXPECT_EQ(seq.timeouts, par.timeouts);
     EXPECT_EQ(seq.acksSent, par.acksSent);
     EXPECT_EQ(seq.rxDupDropped, par.rxDupDropped);
     EXPECT_EQ(seq.rxCorruptDropped, par.rxCorruptDropped);
-    EXPECT_EQ(seq.rxOooDropped, par.rxOooDropped);
+    EXPECT_EQ(seq.rxOooBuffered, par.rxOooBuffered);
+    EXPECT_EQ(seq.ecnMarked, par.ecnMarked);
+    EXPECT_EQ(seq.cwndCuts, par.cwndCuts);
     EXPECT_EQ(seq.faults.decisions, par.faults.decisions);
     EXPECT_EQ(seq.faults.dropped, par.faults.dropped);
     EXPECT_EQ(seq.faults.corrupted, par.faults.corrupted);

@@ -24,6 +24,8 @@
 #   SHRIMP_SKIP_TSAN=1           skip the ThreadSanitizer suite
 #   SHRIMP_SKIP_MULTINODE=1      skip the sharded determinism +
 #                                speedup gate
+#   SHRIMP_SKIP_NETPERF=1        skip the transport perf gate (goodput
+#                                under loss + hotspot-vs-permutation)
 #   SHRIMP_SKIP_PROFILE=1        skip the profiled-trace gate (trace
 #                                validation + <= 5% profiler overhead)
 #   SHRIMP_SKIP_WINDOWEFF=1      skip the window-efficiency gate
@@ -38,8 +40,8 @@ depth="${SHRIMP_CHECK_DEPTH:-8}"
 tidy_base="${SHRIMP_TIDY_BASE:-HEAD}"
 
 steps="build lint tidy model-clean model-i1 model-tcache model-net \
-model-net-mutation ctest tsan chaos selfperf multinode profile \
-windoweff"
+model-net-mutation ctest tsan chaos selfperf multinode netperf \
+profile windoweff"
 
 if [ "${1:-}" = "--list" ]; then
     for s in ${steps}; do
@@ -348,6 +350,35 @@ step_multinode() {
     echo "256-node/8-shard digest gate: ok"
 }
 
+step_netperf() {
+    echo
+    echo "== netperf gate (Release: goodput under loss + hotspot) =="
+    if [ "${SHRIMP_SKIP_NETPERF:-0}" = "1" ] && [ -z "${SHRIMP_ONLY:-}" ]
+    then
+        echo "SHRIMP_SKIP_NETPERF=1; skipping"
+        return
+    fi
+    ensure_release_target multinode_traffic multinode_patterns
+    # Selective repeat has to hold >= 90% of fault-free goodput on a
+    # 16-node ring losing 5% of packets outright and corrupting
+    # another 2%, without resending more than 2x the chunks the wire
+    # actually ate. The bench exits 1 with NETPERF REGRESSION if
+    # either bound breaks.
+    "${perf_dir}/bench/multinode_traffic" \
+        --nodes=16 --records=64 --record-bytes=4080 --shards=1 \
+        --faults=drop=0.05,corrupt=0.02,seed=7 \
+        --min-goodput=0.90 --max-retransmit-ratio=2.0 \
+        --stats-json="${perf_dir}/BENCH_netperf.json"
+    # Hotspot funnels 70% of three nodes' traffic into one receiver;
+    # with SACK keeping every other flow's pipe full it must stay
+    # within 25% of the permutation patterns' mean bandwidth. Gated at
+    # 3 nodes: at 4+ every pattern is bus-bound, so the ratio would
+    # measure the shared bus instead of the transport.
+    "${perf_dir}/bench/multinode_patterns" \
+        --nodes=3 --check-hotspot=0.25 \
+        --stats-json="${perf_dir}/BENCH_netperf_patterns.json"
+}
+
 step_profile() {
     echo
     echo "== profiled-trace gate (Release: trace validity + overhead) =="
@@ -482,6 +513,7 @@ should_run tsan && step_tsan
 should_run chaos && step_chaos
 should_run selfperf && step_selfperf
 should_run multinode && step_multinode
+should_run netperf && step_netperf
 should_run profile && step_profile
 should_run windoweff && step_windoweff
 

@@ -414,6 +414,21 @@ struct Options
     std::string netSpec;
     /** `--mutate=no-retransmit`: disable NI recovery in --net mode. */
     bool noRetransmit = false;
+    /** `--mutate=no-fast-retransmit`: RTO-only recovery. */
+    bool noFastRetransmit = false;
+    /** `--mutate=sack-ignore`: sender discards the SACK bitmap. */
+    bool ignoreSack = false;
+    /** `--limit-us=N` (--net mode): completion deadline in simulated
+     *  microseconds — recovery that only limps home after the
+     *  deadline is a lost completion, which is how the RTO-only
+     *  mutations above become visible counterexamples. 0 = none. */
+    double limitUs = 0;
+    /** `--records=N` / `--record-bytes=N` (--net mode): workload
+     *  size. The deadline checks use a longer streaming run than the
+     *  default, so steady-state recovery throughput (where SACK and
+     *  fast retransmit earn their keep) dominates the tail. */
+    unsigned records = 16;
+    std::uint32_t recordBytes = 1024;
     bool traceReplay = false;
     bool quiet = false;
     bool ok = true;
@@ -634,7 +649,17 @@ usage(std::ostream &os)
           "                       no-proxy-writeprotect (I3),\n"
           "                       no-i4-busy-check (I4),\n"
           "                       no-retransmit (with --net: NI never\n"
-          "                       re-sends, lost chunks stay lost)\n"
+          "                       re-sends, lost chunks stay lost),\n"
+          "                       no-fast-retransmit (with --net: SACK\n"
+          "                       scoreboard never fires, RTO-only),\n"
+          "                       sack-ignore (with --net: sender\n"
+          "                       discards SACK bitmaps entirely)\n"
+          "  --limit-us=N         with --net: completion deadline in\n"
+          "                       simulated us (default: none)\n"
+          "  --records=N          with --net: records per direction\n"
+          "                       (default 16)\n"
+          "  --record-bytes=N     with --net: record payload bytes\n"
+          "                       (default 1024)\n"
           "  --net=SPEC           check exactly-once delivery on an\n"
           "                       unreliable backplane instead\n"
           "                       (SPEC as in --faults=, e.g.\n"
@@ -648,13 +673,17 @@ usage(std::ostream &os)
 
 bool
 parseMutations(const std::string &list, os::MutationKnobs &out,
-               bool &no_retransmit)
+               Options &opt)
 {
     std::stringstream ss(list);
     std::string item;
     while (std::getline(ss, item, ',')) {
         if (item == "no-retransmit") {
-            no_retransmit = true;
+            opt.noRetransmit = true;
+        } else if (item == "no-fast-retransmit") {
+            opt.noFastRetransmit = true;
+        } else if (item == "sack-ignore") {
+            opt.ignoreSack = true;
         } else if (item == "no-inval-on-switch") {
             out.skipInvalOnSwitch = true;
         } else if (item == "no-proxy-shootdown") {
@@ -703,13 +732,21 @@ runNetCheck(const Options &opt)
         return 2;
     }
     fc.disableRetransmit = fc.disableRetransmit || opt.noRetransmit;
+    fc.disableFastRetransmit =
+        fc.disableFastRetransmit || opt.noFastRetransmit;
+    fc.ignoreSack = fc.ignoreSack || opt.ignoreSack;
 
     workload::RingConfig rc;
     rc.nodes = 2;
-    rc.records = 16;
-    rc.recordBytes = 1024;
+    rc.records = opt.records;
+    rc.recordBytes = opt.recordBytes;
     rc.shards = 1;
-    rc.limit = Tick(5) * tickSec;
+    // The deadline turns "recovery exists" into "recovery performs":
+    // a mutation that only limps home on serial RTO expiries blows
+    // the budget and surfaces as the same lost-completion trace a
+    // truly dead flow would leave.
+    rc.limit = opt.limitUs > 0 ? Tick(opt.limitUs * tickUs)
+                               : Tick(5) * tickSec;
     rc.faults = fc;
     // Start the flight recorder from a clean slate so a violation dump
     // below shows only this run's tail of simulated events.
@@ -722,7 +759,13 @@ runNetCheck(const Options &opt)
                   << "'" << (fc.disableRetransmit
                                  ? " (retransmission disabled)"
                                  : "")
-                  << "\n";
+                  << (fc.disableFastRetransmit
+                          ? " (fast retransmit disabled)"
+                          : "")
+                  << (fc.ignoreSack ? " (SACK ignored)" : "");
+        if (opt.limitUs > 0)
+            std::cout << " deadline " << opt.limitUs << " us";
+        std::cout << "\n";
         std::cout << "net-check: links dropped " << r.faults.dropped
                   << ", corrupted " << r.faults.corrupted
                   << ", duplicated " << r.faults.duplicated
@@ -734,7 +777,10 @@ runNetCheck(const Options &opt)
     if (r.nodesDone < rc.nodes || r.chunksUnacked > 0) {
         std::cout << "VIOLATION: lost completion — "
                   << (rc.nodes - r.nodesDone) << " of " << rc.nodes
-                  << " receivers never finished, " << r.chunksUnacked
+                  << " receivers never finished";
+        if (opt.limitUs > 0)
+            std::cout << " by the " << opt.limitUs << " us deadline";
+        std::cout << ", " << r.chunksUnacked
                   << " chunks never acknowledged:\n";
         for (const auto &f : r.lostFlows)
             std::cout << "  " << f << "\n";
@@ -751,7 +797,8 @@ runNetCheck(const Options &opt)
               << " messages delivered exactly once ("
               << r.rxDupDropped << " duplicates and "
               << r.rxCorruptDropped
-              << " corrupt chunks discarded at receivers)\n";
+              << " corrupt chunks discarded at receivers) in "
+              << ticksToUs(r.simTicks) << " us of simulated time\n";
     return 0;
 }
 
@@ -786,9 +833,36 @@ main(int argc, char **argv)
                 return 2;
             }
         } else if (arg.rfind("--mutate=", 0) == 0) {
-            if (!parseMutations(arg.substr(9), opt.mutations,
-                                opt.noRetransmit))
+            if (!parseMutations(arg.substr(9), opt.mutations, opt))
                 return 2;
+        } else if (arg.rfind("--records=", 0) == 0) {
+            try {
+                opt.records = unsigned(std::stoul(arg.substr(10)));
+            } catch (const std::exception &) {
+                std::cerr << "--records: want a number, got '"
+                          << arg.substr(10) << "'\n";
+                usage(std::cerr);
+                return 2;
+            }
+        } else if (arg.rfind("--record-bytes=", 0) == 0) {
+            try {
+                opt.recordBytes =
+                    std::uint32_t(std::stoul(arg.substr(15)));
+            } catch (const std::exception &) {
+                std::cerr << "--record-bytes: want a number, got '"
+                          << arg.substr(15) << "'\n";
+                usage(std::cerr);
+                return 2;
+            }
+        } else if (arg.rfind("--limit-us=", 0) == 0) {
+            try {
+                opt.limitUs = std::stod(arg.substr(11));
+            } catch (const std::exception &) {
+                std::cerr << "--limit-us: want a number, got '"
+                          << arg.substr(11) << "'\n";
+                usage(std::cerr);
+                return 2;
+            }
         } else if (arg.rfind("--net=", 0) == 0) {
             opt.netSpec = arg.substr(6);
         } else if (arg.rfind("--replay=", 0) == 0) {
