@@ -41,7 +41,8 @@ struct PatternResult
 };
 
 PatternResult
-runPattern(const TrafficConfig &tc, unsigned shards)
+runPattern(const TrafficConfig &tc, unsigned shards,
+           const sim::TopologyConfig &topo)
 {
     SystemConfig cfg;
     cfg.nodes = tc.nodes;
@@ -49,6 +50,8 @@ runPattern(const TrafficConfig &tc, unsigned shards)
     cfg.node.memBytes = 8 << 20;
     cfg.params.quantumUs = 500.0;
     cfg.node.devices.push_back(DeviceConfig{});
+    cfg.topology = topo;
+    cfg.topology.specified = true;
     System sys(cfg);
 
     const std::uint32_t pb = cfg.params.pageBytes;
@@ -154,9 +157,11 @@ main(int argc, char **argv)
     // machine's permutation throughput: hotspot aggregate bandwidth
     // must reach (1 - FRAC) of the mean of nearest-neighbor and
     // transpose, or the run fails. The gate is meaningful only where
-    // the receiver, not the shared bus, is the structural bottleneck
-    // (small node counts; at 4+ nodes every pattern is bus-bound and
-    // the ratio says nothing about the transport).
+    // the receiver, not the shared bus, is the structural bottleneck:
+    // on the crossbar that means small node counts (at 4+ nodes every
+    // pattern is bus-bound and the ratio says nothing about the
+    // transport); on a mesh/torus the hot node's own links and drain
+    // are the bottleneck again at any scale, so the gate re-enables.
     double check_hotspot = -1.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -182,10 +187,20 @@ main(int argc, char **argv)
         return 2;
     }
     const unsigned shards = resolveShards(opts, base.nodes);
+    const sim::TopologyConfig topo = opts.topology;
+    if (!topo.flat() && topo.gridNodes() != base.nodes) {
+        std::fprintf(stderr,
+                     "--topo=%s wires %u nodes but --nodes=%u\n",
+                     topo.describe().c_str(), topo.gridNodes(),
+                     base.nodes);
+        return 2;
+    }
 
     std::printf(
-        "# Traffic patterns, %u nodes, %u x %u B per node, %u shards\n",
-        base.nodes, base.messagesPerNode, base.messageBytes, shards);
+        "# Traffic patterns, %u nodes on %s, %u x %u B per node, "
+        "%u shards\n",
+        base.nodes, topo.describe().c_str(), base.messagesPerNode,
+        base.messageBytes, shards);
     std::printf("%-18s %12s %14s %18s\n", "pattern", "wall_us",
                 "aggregate_MB_s", "hot_node_msgs");
 
@@ -194,10 +209,11 @@ main(int argc, char **argv)
     double hotspot_mbs = 0;
     for (Pattern p :
          {Pattern::NearestNeighbor, Pattern::Transpose,
-          Pattern::UniformRandom, Pattern::Hotspot, Pattern::Bursty}) {
+          Pattern::UniformRandom, Pattern::Hotspot, Pattern::Bursty,
+          Pattern::Incast, Pattern::Bisection}) {
         TrafficConfig tc = base;
         tc.pattern = p;
-        auto r = runPattern(tc, shards);
+        auto r = runPattern(tc, shards, topo);
         std::printf("%-18s %12.0f %14.2f %18llu\n", patternName(p),
                     r.wallUs, r.aggregateMBs,
                     (unsigned long long)r.hotDelivered);
@@ -222,30 +238,60 @@ main(int argc, char **argv)
                 "drags aggregate bandwidth toward the single-link "
                 "rate.\n");
     report.setParam("nodes", double(base.nodes));
+    report.setParam("topology", topo.describe());
     report.setParam("message_bytes", double(base.messageBytes));
     report.setParam("messages_per_node", double(base.messagesPerNode));
 
     int rc = 0;
+    // Topology-aware gate eligibility: the crossbar ratio is only a
+    // transport signal while the hot receiver is the bottleneck
+    // (nodes <= 3); on a mesh/torus it always is.
+    const bool hotspot_gate_meaningful =
+        !topo.flat() || base.nodes <= 3;
+    if (check_hotspot > 0 && !hotspot_gate_meaningful) {
+        std::printf(
+            "\nhotspot gate: SKIPPED — %u-node crossbar is bus-bound "
+            "on every pattern, so the hotspot/permutation ratio "
+            "carries no transport signal (use --nodes=3 or a mesh "
+            "topology)\n",
+            base.nodes);
+        check_hotspot = -1.0;
+    }
     if (check_hotspot > 0 && permutation_count > 0) {
         const double permutation_mean =
             permutation_sum / permutation_count;
-        const double floor = (1.0 - check_hotspot) * permutation_mean;
+        // The reference the funnel is held against. On the small
+        // crossbar the hot receiver carries a share comparable to
+        // each permutation receiver, so the aggregate compares
+        // directly. On a mesh/torus the hotspot aggregate is
+        // structurally *one* receiver's drain while the permutation
+        // aggregate is N receivers' — the honest floor is the
+        // per-receiver permutation rate, which a congestion-collapsed
+        // transport (retransmit storm crushing goodput) still falls
+        // below while a healthy funnel clears it easily.
+        const bool per_receiver = !topo.flat();
+        const double reference =
+            per_receiver ? permutation_mean / base.nodes
+                         : permutation_mean;
+        const double floor = (1.0 - check_hotspot) * reference;
         const double ratio =
-            permutation_mean > 0 ? hotspot_mbs / permutation_mean : 0;
+            reference > 0 ? hotspot_mbs / reference : 0;
         report.addMetric("hotspot_vs_permutation", ratio);
+        const char *ref_name = per_receiver
+                                   ? "per-receiver permutation rate"
+                                   : "permutation mean";
         if (hotspot_mbs < floor) {
             std::printf("\nNETPERF REGRESSION: hotspot %.2f MB/s is "
                         "below %.2f MB/s (%.0f%% of the %.2f MB/s "
-                        "permutation mean)\n",
+                        "%s)\n",
                         hotspot_mbs, floor, 100 * (1 - check_hotspot),
-                        permutation_mean);
+                        reference, ref_name);
             rc = 1;
         } else {
             std::printf("\nhotspot gate: %.2f MB/s >= %.2f MB/s "
-                        "(%.0f%% of the %.2f MB/s permutation mean) "
-                        "-- ok\n",
+                        "(%.0f%% of the %.2f MB/s %s) -- ok\n",
                         hotspot_mbs, floor, 100 * (1 - check_hotspot),
-                        permutation_mean);
+                        reference, ref_name);
         }
     }
     report.write();

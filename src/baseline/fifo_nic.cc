@@ -101,7 +101,7 @@ FifoNic::pump()
                                      txFifo_.begin() + n);
     txFifo_.erase(txFifo_.begin(), txFifo_.begin() + n);
     Tick injected = fabric_.acquireLink(node_, n * 8ull);
-    Tick arrival = injected + fabric_.hopLatency();
+    Tick arrival = injected + fabric_.routeLatency(node_, destNode_);
     pumpBusy_ = true;
     // With several senders the credit check can be stale by arrival
     // time; undelivered words wait at the ejection port and retry.

@@ -42,12 +42,20 @@ namespace shrimp::baseline
 
 class FifoNic;
 
-/** The fabric connecting FifoNics (same crossbar model as SHRIMP's). */
+/**
+ * The fabric connecting FifoNics (same link model as SHRIMP's
+ * Interconnect: per-source injection serialization plus routing
+ * latency). On a mesh/torus wiring the routing latency scales with
+ * the dimension-order hop count; the FIFO-NIC baseline only runs in
+ * legacy single-queue mode, so it charges the whole route's latency
+ * up front instead of modelling per-hop link arbitration.
+ */
 class FifoFabric
 {
   public:
-    FifoFabric(sim::EventQueue &eq, const sim::MachineParams &params)
-        : eq_(eq), params_(params)
+    FifoFabric(sim::EventQueue &eq, const sim::MachineParams &params,
+               sim::TopologyConfig topo = {})
+        : eq_(eq), params_(params), topo_(topo)
     {}
 
     void
@@ -76,9 +84,17 @@ class FifoFabric
 
     Tick hopLatency() const { return params_.linkLatency(); }
 
+    /** Routing latency of the whole src -> dst route (all hops). */
+    Tick
+    routeLatency(NodeId src, NodeId dst) const
+    {
+        return topo_.hops(src, dst) * params_.linkLatency();
+    }
+
   private:
     sim::EventQueue &eq_;
     const sim::MachineParams &params_;
+    const sim::TopologyConfig topo_;
     std::map<NodeId, FifoNic *> nics_;
     std::map<NodeId, Tick> linkFreeAt_;
 };

@@ -36,6 +36,12 @@ std::string g_pendingAuditSpec;
 std::string g_pendingFaultSpec;
 
 /**
+ * Topology spec from `--topo=` awaiting the next System construction
+ * in this process (same lifecycle as the audit/fault specs above).
+ */
+std::string g_pendingTopoSpec;
+
+/**
  * Honour SHRIMP_TRACE=dma,vm,os,ni,bus,xfer (or "all"): enable those
  * trace categories on stderr. Lets every example and bench be traced
  * without recompilation.
@@ -172,11 +178,37 @@ Node::deviceIndexOf(DeviceKind kind) const
     return -1;
 }
 
+/**
+ * The wiring this System runs with. Mirrors the fault precedence: a
+ * deliberately filled SystemConfig::topology wins; otherwise
+ * SHRIMP_TOPO wins over a --topo= seen by parseRunOptions. A non-flat
+ * grid that does not match the node count is a configuration error,
+ * not something to silently pad: routing math indexes the grid.
+ */
+static sim::TopologyConfig
+resolvedTopology(const SystemConfig &cfg)
+{
+    sim::TopologyConfig topo = cfg.topology;
+    if (!topo.specified) {
+        const char *tenv = std::getenv("SHRIMP_TOPO");
+        std::string tspec = tenv && *tenv ? tenv : g_pendingTopoSpec;
+        if (!tspec.empty())
+            sim::parseTopologySpec(tspec, topo, &std::cerr);
+    }
+    if (!topo.flat() && topo.gridNodes() != cfg.nodes) {
+        fatal("topology ", topo.describe(), " wires ",
+              topo.gridNodes(), " nodes but the system has ",
+              cfg.nodes);
+    }
+    return topo;
+}
+
 System::System(const SystemConfig &cfg)
     : cfg_(cfg),
       layout_(cfg.node.memBytes, cfg.params.pageBytes,
               std::max<unsigned>(1, unsigned(cfg.node.devices.size()))),
-      net_(eq_, cfg_.params), fifoFabric_(eq_, cfg_.params)
+      topo_(resolvedTopology(cfg_)), net_(eq_, cfg_.params, topo_),
+      fifoFabric_(eq_, cfg_.params, topo_)
 {
     if (cfg.nodes == 0)
         fatal("a system needs at least one node");
@@ -193,9 +225,13 @@ System::System(const SystemConfig &cfg)
         }
         // The synchronization horizon comes from the interconnect:
         // nothing crosses nodes faster than the smallest packet's
-        // injection serialization plus the backplane hop, per node
-        // pair (DESIGN.md §10). The engine folds the per-pair floors
-        // into its shard-pair lookahead matrix.
+        // injection serialization plus the backplane hop — per hop of
+        // the dimension-order route, so on a mesh/torus the per-pair
+        // floor scales with distance (DESIGN.md §10, §14). The engine
+        // folds the per-pair floors into its shard-pair lookahead
+        // matrix; multi-hop forwarding re-posts at every intermediate
+        // node, so each individual post only needs the adjacent-pair
+        // floor, which the fold always covers.
         unsigned shards = std::min(cfg_.shards, cfg_.nodes);
         engine_ = std::make_unique<sim::ShardedEngine>(
             cfg_.nodes, shards,
@@ -273,6 +309,7 @@ System::dumpStats(std::ostream &os)
 {
     os << "sim.ticks " << simNow() << "\n";
     os << "sim.events " << simEvents() << "\n";
+    os << "net.topology " << topo_.describe() << "\n";
     os << "net.bytesRouted " << net_.bytesRouted() << "\n";
     {
         net::FaultCounters f = net_.faults().totals();
@@ -317,6 +354,7 @@ System::dumpStatsJson(std::ostream &os)
     w.endObject();
     w.key("net");
     w.beginObject();
+    w.field("topology", topo_.describe());
     w.field("bytesRouted", net_.bytesRouted());
     {
         net::FaultCounters f = net_.faults().totals();
@@ -401,6 +439,16 @@ parseRunOptions(int &argc, char **argv)
             }
             continue;
         }
+        if (arg.rfind("--topo=", 0) == 0) {
+            std::string spec = arg.substr(std::strlen("--topo="));
+            if (!sim::parseTopologySpec(spec, opts.topology,
+                                        &std::cerr)) {
+                opts.ok = false;
+            } else {
+                g_pendingTopoSpec = spec;
+            }
+            continue;
+        }
         if (arg.rfind("--audit=", 0) == 0) {
             opts.auditSpec = arg.substr(std::strlen("--audit="));
             audit::Mode mode;
@@ -446,6 +494,18 @@ parseRunOptions(int &argc, char **argv)
         argv[out++] = argv[i];
     }
     argc = out;
+    // SHRIMP_TOPO fallback has to resolve *here*, not only inside
+    // resolvedTopology(): workloads that pin their SystemConfig
+    // topology from these options (ring.cc sets specified=true so a
+    // default-constructed config stays crossbar regardless of the
+    // environment) would otherwise never see the env var at all.
+    if (!opts.topology.specified) {
+        const char *tenv = std::getenv("SHRIMP_TOPO");
+        if (tenv && *tenv
+            && !sim::parseTopologySpec(tenv, opts.topology,
+                                       &std::cerr))
+            opts.ok = false;
+    }
     return opts;
 }
 

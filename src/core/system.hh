@@ -104,6 +104,16 @@ struct SystemConfig
      */
     unsigned shards = 0;
     sim::MachineParams params;
+    /**
+     * Backplane wiring (sim::TopologyConfig): crossbar by default, 2D
+     * mesh/torus via `--topo=mesh:4x4` or SHRIMP_TOPO. Mirrors the
+     * faults precedence: when topology.specified is false the System
+     * falls back to the SHRIMP_TOPO environment variable or a
+     * `--topo=` spec seen by parseRunOptions; a deliberately filled
+     * config wins over both. A non-flat grid must match `nodes`
+     * exactly (fatal otherwise).
+     */
+    sim::TopologyConfig topology;
     NodeConfig node;
     /**
      * Backplane fault injection (shrimp/fault.hh). When
@@ -293,6 +303,9 @@ class System
      *  its per-node queues. */
     std::unique_ptr<sim::ShardedEngine> engine_;
     vm::AddressLayout layout_;
+    /** Resolved wiring (cfg / SHRIMP_TOPO / --topo): declared before
+     *  the fabrics, which capture it by value at construction. */
+    sim::TopologyConfig topo_;
     net::Interconnect net_;
     baseline::FifoFabric fifoFabric_;
     std::vector<std::unique_ptr<Node>> nodes_;
@@ -315,16 +328,20 @@ struct RunOptions
     unsigned shards = 0;       ///< `--shards=N` (0: legacy queue)
     bool shardsAuto = false;   ///< `--shards=auto` was given
     net::FaultConfig faults;   ///< `--faults=<spec>` (shrimp/fault.hh)
+    sim::TopologyConfig topology; ///< `--topo=<spec>` (sim/params.hh)
     bool ok = true;            ///< false: a malformed option was seen
 };
 
 /**
  * Parse and strip `--stats-json=` / `--trace=` / `--audit=` /
- * `--shards=` / `--faults=` / `--profile=` from argv (compacting argc/argv in place
+ * `--shards=` / `--faults=` / `--topo=` / `--profile=` from argv
+ * (compacting argc/argv in place
  * so argument-consuming frameworks never see them); a `--trace=` spec
  * is applied immediately, and an `--audit=` spec (`every-event`,
- * `on-switch` or `at-barrier`) or a `--faults=` spec
- * (`drop=0.05,corrupt=0.02,...`, see parseFaultSpec) is applied to
+ * `on-switch` or `at-barrier`), a `--faults=` spec
+ * (`drop=0.05,corrupt=0.02,...`, see parseFaultSpec), or a `--topo=`
+ * spec (`crossbar`, `mesh:WxH`, `torus:WxH`, see parseTopologySpec)
+ * is applied to
  * the next System constructed in this process. `--shards=N|auto` is
  * reported in RunOptions for the caller to place into
  * SystemConfig::shards (resolveShards maps `auto` to the host's core

@@ -9,12 +9,15 @@
  * chunk, whether the link delivers, drops, corrupts, duplicates, or
  * delays it — plus scheduled link-down and link-degraded windows.
  *
- * Determinism: every (src, dst) ordered pair owns its own SplitMix64
- * stream seeded from (seed, src, dst). A decision for traffic injected
- * by node `src` is drawn only by the shard executing `src`, in that
- * node's event order — which the sharded engine already keeps
- * shard-count invariant — so `--shards=1` and `--shards=N` see the
- * same fault sequence and stay bit-identical.
+ * Determinism: every *physical link* owns its own SplitMix64 stream
+ * seeded from (seed, linkSrc, linkDst) — the NI calls decide() with
+ * the endpoints of the link actually being traversed, which on the
+ * crossbar is the (src, dst) endpoint pair and on a mesh/torus is each
+ * (node, nextHop) leg of the dimension-order route. A decision for a
+ * link is drawn only by the shard executing the link's owner
+ * (transmitting node), in that node's event order — which the sharded
+ * engine already keeps shard-count invariant — so `--shards=1` and
+ * `--shards=N` see the same fault sequence and stay bit-identical.
  *
  * Thread-safety mirrors Interconnect's counters: the per-source slots
  * are sized at attach time (single-threaded System construction) and
@@ -38,7 +41,9 @@
 namespace shrimp::net
 {
 
-/** A scheduled per-link state window (ticks, inclusive start). */
+/** A scheduled per-link state window (ticks, inclusive start). On a
+ *  mesh/torus the pair names a *physical link* (adjacent nodes); a
+ *  non-adjacent pair only matches crossbar traffic. */
 struct LinkWindow
 {
     NodeId src = 0;
@@ -200,12 +205,14 @@ class FaultModel
     }
 
     /**
-     * Decide the fate of one chunk node @p src injects toward @p dst
-     * at @p now. Control messages (acks) only see Drop and Delay:
-     * corrupting an ack is indistinguishable from dropping it, and
-     * duplicating one is a no-op, so the model keeps their stream
-     * consumption minimal. Self-sends are exempt (there is no link).
-     * Only the shard executing @p src may call this.
+     * Decide the fate of one chunk node @p src transmits onto its
+     * physical link toward @p dst at @p now — @p dst is the *next
+     * hop*, not the final destination, so multi-hop routes draw one
+     * decision per traversed link. Control messages (acks) only see
+     * Drop and Delay: corrupting an ack is indistinguishable from
+     * dropping it, and duplicating one is a no-op, so the model keeps
+     * their stream consumption minimal. Self-sends are exempt (there
+     * is no link). Only the shard executing @p src may call this.
      */
     FaultDecision decide(NodeId src, NodeId dst, Tick now,
                          bool control);

@@ -1,20 +1,37 @@
 /**
  * @file
  * The routing backplane connecting SHRIMP nodes (the prototype used an
- * Intel Paragon routing backplane).
+ * Intel Paragon routing backplane — a 2D mesh).
  *
- * Modelled as a crossbar: each node has a dedicated injection link
- * that serializes its own traffic at linkBytesPerSec, plus a fixed
- * per-hop routing latency. This is deliberately faster than the EISA
- * bus on either end, as in the real system, so the network itself is
- * rarely the bottleneck.
+ * The wiring is pluggable (sim::TopologyConfig): the default crossbar
+ * gives each node a dedicated injection link that serializes its own
+ * traffic at linkBytesPerSec plus one fixed routing hop; a 2D mesh or
+ * torus routes packets dimension-order (X then Y) across per-direction
+ * physical links, charging the hop latency and the link serialization
+ * at every hop. Either way the network is deliberately faster than the
+ * EISA bus on each end, as in the real system, so for most patterns it
+ * is not the bottleneck — but on the mesh, bisection-limited patterns
+ * (incast, adversarial permutations) now contend on shared links.
  *
- * All per-node state (the NI table, link-busy horizon, byte counters)
- * lives in dense vectors indexed by NodeId — nodes are 0..N-1, so an
- * injection costs one array access, not a tree lookup. Under the
- * sharded engine (sim/sharded.hh) a node's injection link is only
- * ever touched by the shard executing that node, so each slot is
- * naturally shard-local: the byte counters are exact with no shared
+ * Link ownership is what keeps the model shard-safe: every physical
+ * link belongs to the node transmitting onto it (the crossbar's
+ * injection link, or one of a mesh node's four outgoing direction
+ * links), and multi-hop packets are *forwarded hop by hop* — the NI of
+ * each intermediate node re-launches the packet onto its own outgoing
+ * link from its own shard (network_interface.cc). No shard ever
+ * touches another node's link horizon, so arbitration on shared mesh
+ * links is resolved in each owner's canonical event order and stays
+ * bit-identical across shard counts. Backpressure surfaces as delayed
+ * injection: a busy link pushes the chunk's departure (and every later
+ * hop) into the future.
+ *
+ * All per-node state (the NI table, link-busy horizons, byte counters)
+ * lives in dense vectors indexed by NodeId and sized only in attach()
+ * — attach happens during single-threaded System construction, so no
+ * vector ever grows while shards run. acquireLink() asserts the node
+ * was attached instead of resizing (a mid-run grow would be a data
+ * race under shards). Each link slot is only ever touched by the shard
+ * executing its owner, so the byte counters are exact with no shared
  * atomics, and bytesRouted() merges them when the world is quiescent
  * (window barriers or after the run).
  */
@@ -39,19 +56,27 @@ class NetworkInterface;
 class Interconnect
 {
   public:
-    Interconnect(sim::EventQueue &eq, const sim::MachineParams &params)
-        : eq_(eq), params_(params)
+    Interconnect(sim::EventQueue &eq, const sim::MachineParams &params,
+                 sim::TopologyConfig topo = {})
+        : eq_(eq), params_(params), topo_(topo),
+          linksPerNode_(topo.flat() ? 1 : 4)
     {}
 
+    /** The wiring this backplane was built with. */
+    const sim::TopologyConfig &topology() const { return topo_; }
+
     /**
-     * Register a node's NI. Also the moment the per-node slots are
-     * sized: attach happens during (single-threaded) System
+     * Register a node's NI. Also the *only* moment the per-node slots
+     * are sized: attach happens during (single-threaded) System
      * construction, so no vector ever grows while shards run.
      */
     void
     attach(NodeId node, NetworkInterface *ni)
     {
         SHRIMP_ASSERT(ni, "null NI");
+        SHRIMP_ASSERT(topo_.flat() || node < topo_.gridNodes(),
+                      "node ", node, " is outside the ",
+                      topo_.describe(), " grid");
         grow(node);
         faults_.grow(node);
         SHRIMP_ASSERT(!nis_[node], "node already attached");
@@ -73,50 +98,72 @@ class Interconnect
         return node < nis_.size() && nis_[node] != nullptr;
     }
 
-    /**
-     * Occupy node @p src's injection link for @p bytes starting no
-     * earlier than @p now; returns the tick at which the last byte
-     * has been injected. Only the shard executing @p src may call
-     * this (its link and byte slots are that shard's state).
-     */
-    Tick
-    acquireLink(NodeId src, std::uint64_t bytes, Tick now)
+    /** Hops a packet from @p src to @p dst traverses (>= 1). */
+    unsigned
+    hops(NodeId src, NodeId dst) const
     {
-        grow(src);
-        Tick start = std::max(now, linkFreeAt_[src]);
-        linkFreeAt_[src] = start + params_.linkTransfer(bytes);
-        linkBytes_[src] += bytes;
-        return linkFreeAt_[src];
+        return topo_.hops(src, dst);
     }
 
-    /** Legacy single-queue convenience: "now" is the shared clock. */
+    /** The next node on the dimension-order route toward @p dst
+     *  (the destination itself on the crossbar). */
+    NodeId
+    nextHop(NodeId from, NodeId dst) const
+    {
+        return topo_.nextHop(from, dst);
+    }
+
+    /**
+     * Occupy node @p from's physical link toward @p towards (its
+     * dedicated injection link on the crossbar; the outgoing
+     * direction link of the dimension-order route on a mesh/torus)
+     * for @p bytes starting no earlier than @p now; returns the tick
+     * at which the last byte has left the node. Only the shard
+     * executing @p from may call this — its link slots are that
+     * shard's state, which is why acquireLink *asserts* attachment
+     * instead of growing: resizing the shared vectors mid-run would
+     * race with every other shard.
+     */
+    Tick
+    acquireLink(NodeId from, NodeId towards, std::uint64_t bytes,
+                Tick now)
+    {
+        const std::size_t slot = linkSlot(from, towards);
+        Tick start = std::max(now, linkFreeAt_[slot]);
+        linkFreeAt_[slot] = start + params_.linkTransfer(bytes);
+        linkBytes_[slot] += bytes;
+        return linkFreeAt_[slot];
+    }
+
+    /** Legacy single-queue convenience: "now" is the shared clock and
+     *  the link is the crossbar injection link (direction 0). */
     Tick
     acquireLink(NodeId src, std::uint64_t bytes)
     {
-        return acquireLink(src, bytes, eq_.now());
+        return acquireLink(src, src, bytes, eq_.now());
     }
 
-    /** Routing latency from injection to ejection. */
+    /** Routing latency of one hop, injection to ejection. */
     Tick hopLatency() const { return params_.linkLatency(); }
 
     /**
      * Lower bound on the delivery delay of *any* packet from @p src
      * to @p dst: even the smallest packet (a bare header — the ack)
-     * serializes niHeaderBytes onto the source's injection link and
-     * then takes the routing hop. The sharded engine sizes its
+     * serializes niHeaderBytes onto a physical link and pays the
+     * routing latency at *every* hop of the dimension-order route, so
+     * the floor scales with distance. The sharded engine sizes its
      * per-(src, dst)-shard lookahead matrix from this query, so it is
      * a hard contract: every cross-node post the NI makes must land
-     * at least this far in the sender's future. The crossbar is
-     * distance-uniform; the (src, dst) signature is what a mesh or
-     * multi-hop topology would key its answer on.
+     * at least this far in the sender's future. Multi-hop forwarding
+     * keeps the contract per hop (each forward posts one single-hop
+     * floor ahead), and the floors compose along the route.
      */
     Tick
     minDeliveryLatency(NodeId src, NodeId dst) const
     {
-        (void)src;
-        (void)dst;
-        return params_.linkTransfer(params_.niHeaderBytes)
-               + hopLatency();
+        return hops(src, dst)
+               * (params_.linkTransfer(params_.niHeaderBytes)
+                  + hopLatency());
     }
 
     /**
@@ -125,12 +172,15 @@ class Interconnect
      */
     void setFaults(const FaultConfig &cfg) { faults_.configure(cfg); }
 
-    /** The per-link fault model (NIs consult it on every launch). */
+    /** The per-physical-link fault model (NIs consult it on every
+     *  launch and at every forwarding hop). */
     FaultModel &faults() { return faults_; }
     const FaultModel &faults() const { return faults_; }
 
-    /** Total bytes injected, merged over the per-source counters.
-     *  Exact when the shards are quiescent (barriers / post-run). */
+    /** Total bytes put on physical links, merged over the per-link
+     *  counters — a multi-hop chunk counts once per hop, so on a mesh
+     *  this measures real link occupancy, not goodput. Exact when the
+     *  shards are quiescent (barriers / post-run). */
     std::uint64_t
     bytesRouted() const
     {
@@ -141,21 +191,64 @@ class Interconnect
     }
 
   private:
+    /** Size the per-node slots (attach-time only; see attach()). */
     void
     grow(NodeId node)
     {
         if (node < nis_.size())
             return;
         nis_.resize(node + 1, nullptr);
-        linkFreeAt_.resize(node + 1, 0);
-        linkBytes_.resize(node + 1, 0);
+        linkFreeAt_.resize((node + 1) * linksPerNode_, 0);
+        linkBytes_.resize((node + 1) * linksPerNode_, 0);
+    }
+
+    /**
+     * The dense index of node @p from's link toward @p towards.
+     * Crossbar: the single injection link. Mesh/torus: one of the
+     * four direction links (-X, +X, -Y, +Y); a degenerate self-send
+     * shares slot 0. Asserts @p from was attached — the slots are
+     * sized in attach() only.
+     */
+    std::size_t
+    linkSlot(NodeId from, NodeId towards) const
+    {
+        SHRIMP_ASSERT(from < nis_.size() && nis_[from],
+                      "acquireLink from unattached node ", from,
+                      " (links are sized in attach() only)");
+        if (linksPerNode_ == 1)
+            return from;
+        unsigned dir = 0;
+        if (towards != from) {
+            const unsigned x = unsigned(from) % topo_.dimX;
+            const unsigned tx = unsigned(towards) % topo_.dimX;
+            if (tx != x) {
+                // +X wrap steps look like tx < x; classify by the
+                // non-wrapping neighbour relation instead.
+                dir = (tx == x + 1 || (x == topo_.dimX - 1 && tx == 0))
+                          ? 1
+                          : 0;
+            } else {
+                const unsigned y = unsigned(from) / topo_.dimX;
+                const unsigned ty = unsigned(towards) / topo_.dimX;
+                dir = (ty == y + 1 || (y == topo_.dimY - 1 && ty == 0))
+                          ? 3
+                          : 2;
+            }
+        }
+        return std::size_t(from) * linksPerNode_ + dir;
     }
 
     sim::EventQueue &eq_;
     const sim::MachineParams &params_;
+    const sim::TopologyConfig topo_;
+    /** Physical links a node transmits onto (1 crossbar, 4 mesh). */
+    const unsigned linksPerNode_;
     std::vector<NetworkInterface *> nis_;
+    /** Busy horizon per physical link ([node * linksPerNode + dir]),
+     *  each touched only by the shard executing its owner. */
     std::vector<Tick> linkFreeAt_;
-    /** Per-source injected bytes (shard-local, merged on read). */
+    /** Per-physical-link transmitted bytes (shard-local, merged on
+     *  read). */
     std::vector<std::uint64_t> linkBytes_;
     FaultModel faults_;
 };

@@ -100,6 +100,8 @@ NetworkInterface::NetworkInterface(sim::EventQueue &eq,
                          "acks sent carrying the ECN overcommit mark");
     statGroup_.addScalar("cwndCuts", &cwndCuts_,
                          "congestion-window halvings (loss or ECN)");
+    statGroup_.addScalar("rescueSpurious", &rescueSpurious_,
+                         "rescue retransmits proven unnecessary");
     statGroup_.addHistogram("delivery_us", &deliveryUs_,
                             "sender start to last byte visible (us)");
 }
@@ -414,17 +416,14 @@ Tick
 NetworkInterface::transmit(NodeId dst, const TxChunk &chunk,
                            bool retransmit)
 {
-    // Every chunk carries its own header on the wire (the sequence
-    // number and checksum travel with each packet, not only the
-    // message-opening one).
-    std::uint64_t wire_bytes = chunk.data.size() + params_.niHeaderBytes;
-    Tick injected = net_.acquireLink(node_, wire_bytes, eq_.now());
-    Tick arrival = injected + net_.hopLatency();
     if (retransmit) {
         ++retransmits_;
         netInstant(node_, "retransmit", eq_.now(), dst, chunk.seq);
     }
 
+    // Every chunk carries its own header on the wire (the sequence
+    // number and checksum travel with each packet, not only the
+    // message-opening one).
     ChunkHeader h;
     h.src = node_;
     h.seq = chunk.seq;
@@ -436,59 +435,99 @@ NetworkInterface::transmit(NodeId dst, const TxChunk &chunk,
 
     // The retransmit buffer keeps the pristine payload; the wire copy
     // is what the fault model may mangle.
-    std::vector<std::uint8_t> payload = chunk.data;
+    return launchChunk(dst, h, chunk.data);
+}
 
+void
+NetworkInterface::forwardChunk(NodeId dst, const ChunkHeader &h,
+                               std::vector<std::uint8_t> data)
+{
+    launchChunk(dst, h, std::move(data));
+}
+
+Tick
+NetworkInterface::launchChunk(NodeId dst, const ChunkHeader &h,
+                              std::vector<std::uint8_t> payload)
+{
+    std::uint64_t wire_bytes = payload.size() + params_.niHeaderBytes;
+    // One hop of the dimension-order route: this node's own outgoing
+    // link (the destination itself on the crossbar). The link horizon
+    // and the fault stream both belong to this node's shard.
+    const NodeId hop = net_.nextHop(node_, dst);
+    Tick injected = net_.acquireLink(node_, hop, wire_bytes, eq_.now());
+    Tick arrival = injected + net_.hopLatency();
+
+    // Posts either the final delivery or the next forwarding hop; the
+    // peer pointer is only dereferenced when the event fires, on that
+    // node's own shard.
+    NetworkInterface *peer = net_.ni(hop);
+    auto handoff = [&](Tick when, std::vector<std::uint8_t> bytes) {
+        if (hop == dst) {
+            postToNode(dst, when, "ni.deliver",
+                       [peer, h, bytes = std::move(bytes)]() mutable {
+                           peer->rxDeliver(h, std::move(bytes));
+                       });
+        } else {
+            postToNode(hop, when, "ni.fwd",
+                       [peer, dst, h,
+                        bytes = std::move(bytes)]() mutable {
+                           peer->forwardChunk(dst, h, std::move(bytes));
+                       });
+        }
+    };
+
+    // Faults are decided per physical link: each hop draws from the
+    // stream of the link it is about to traverse, so a multi-hop
+    // chunk is exposed once per link — exactly like the real wires.
     FaultDecision fd =
-        net_.faults().decide(node_, dst, eq_.now(), /*control=*/false);
-    NetworkInterface *peer = net_.ni(dst);
+        net_.faults().decide(node_, hop, eq_.now(), /*control=*/false);
     switch (fd.action) {
       case FaultAction::Drop:
-        // The injection link was occupied, but nothing arrives.
+        // The link was occupied, but nothing arrives at the far end.
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
-                   node_, " -> ", dst, " seq ", chunk.seq,
+                   node_, " -> ", hop, " seq ", h.seq,
                    " dropped on the wire");
-        netInstant(node_, "drop", eq_.now(), dst, chunk.seq);
+        netInstant(node_, "drop", eq_.now(), hop, h.seq);
         return injected;
       case FaultAction::Corrupt:
         if (!payload.empty())
             payload[fd.aux % payload.size()] ^= 0xFF;
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
-                   node_, " -> ", dst, " seq ", chunk.seq,
+                   node_, " -> ", hop, " seq ", h.seq,
                    " corrupted on the wire");
-        netInstant(node_, "corrupt", eq_.now(), dst, chunk.seq);
+        netInstant(node_, "corrupt", eq_.now(), hop, h.seq);
         break;
       case FaultAction::Duplicate: {
         // The copy takes one extra hop, so it still satisfies the
         // sharded lookahead rule and arrives after the original.
         std::vector<std::uint8_t> copy = payload;
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
-                   node_, " -> ", dst, " seq ", chunk.seq,
+                   node_, " -> ", hop, " seq ", h.seq,
                    " duplicated on the wire");
-        netInstant(node_, "duplicate", eq_.now(), dst, chunk.seq);
-        postToNode(dst, arrival + net_.hopLatency(), "ni.deliver",
-                   [peer, h, copy = std::move(copy)]() mutable {
-                       peer->rxDeliver(h, std::move(copy));
-                   });
+        netInstant(node_, "duplicate", eq_.now(), hop, h.seq);
+        handoff(arrival + net_.hopLatency(), std::move(copy));
         break;
       }
       case FaultAction::Delay:
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
-                   node_, " -> ", dst, " seq ", chunk.seq,
-                   " delayed ", fd.extraDelay, " ticks");
-        netInstant(node_, "delay", eq_.now(), dst, chunk.seq);
+                   node_, " -> ", hop, " seq ", h.seq, " delayed ",
+                   fd.extraDelay, " ticks");
+        netInstant(node_, "delay", eq_.now(), hop, h.seq);
         arrival += fd.extraDelay;
         break;
       case FaultAction::Deliver:
         break;
     }
 
-    // The peer pointer is only dereferenced when the event fires, on
-    // the destination node's own shard.
-    postToNode(dst, arrival, "ni.deliver",
-               [peer, h, payload = std::move(payload)]() mutable {
-                   peer->rxDeliver(h, std::move(payload));
-               });
+    handoff(arrival, std::move(payload));
     return injected;
+}
+
+Tick
+NetworkInterface::wireRoundTripFloor(NodeId dst) const
+{
+    return net_.minDeliveryLatency(node_, dst)
+           + net_.minDeliveryLatency(dst, node_);
 }
 
 void
@@ -545,14 +584,31 @@ NetworkInterface::fastRetransmitPass(NodeId dst, TxFlow &flow)
     //    outstanding-1 (floor 1) — otherwise every loss in a
     //    post-collapse window stalls a full RTO and the window never
     //    recovers.
-    //  - Rescue retransmit: the links are FIFO, so once three more
-    //    SACK marks land after a chunk was resent while it stays
-    //    unSACKed, that resend was itself lost and may go again.
+    //  - Rescue retransmit: once three more SACK marks land after a
+    //    chunk was resent while it stays unSACKed, the resend was
+    //    probably lost and may go again. "Probably", not certainly:
+    //    per-chunk Delay faults reorder chunks within one link (and
+    //    any future adaptive routing would too), so post-resend SACKs
+    //    can belong to chunks that merely overtook a delayed copy.
+    //    The rescue therefore also waits out one full round trip
+    //    (the distance-scaled wire floor, or SRTT once measured)
+    //    since the resend before treating the serials as proof —
+    //    inside that horizon no ack could be answering the resend
+    //    yet, so firing early can only duplicate. Rescues the
+    //    scoreboard later contradicts are counted in rescueSpurious.
     constexpr unsigned dupThresh = 3;
     const unsigned thresh = std::min<std::size_t>(
         dupThresh,
         std::max<std::size_t>(1, flow.unacked.size() - 1));
-    std::vector<std::size_t> holes;
+    Tick rescueQuiet = wireRoundTripFloor(dst);
+    if (flow.rtt.valid && flow.rtt.srtt > rescueQuiet)
+        rescueQuiet = flow.rtt.srtt;
+    struct Hole
+    {
+        std::size_t idx;
+        bool rescue;
+    };
+    std::vector<Hole> holes;
     unsigned sackedAbove = 0;
     for (std::size_t i = flow.unacked.size(); i-- > 0;) {
         const TxChunk &c = flow.unacked[i];
@@ -562,15 +618,23 @@ NetworkInterface::fastRetransmitPass(NodeId dst, TxFlow &flow)
         }
         if (sackedAbove < thresh)
             continue;
-        if (!c.epochResent
-            || flow.sackSerial - c.resendSerial >= dupThresh)
-            holes.push_back(i);
+        if (!c.epochResent) {
+            holes.push_back({i, false});
+        } else if (flow.sackSerial - c.resendSerial >= dupThresh
+                   && eq_.now() >= c.lastResend + rescueQuiet) {
+            holes.push_back({i, true});
+        }
     }
     for (auto it = holes.rbegin(); it != holes.rend(); ++it) {
-        TxChunk &c = flow.unacked[*it];
+        TxChunk &c = flow.unacked[it->idx];
         c.epochResent = true;
         c.rexmitted = true;
         c.resendSerial = flow.sackSerial;
+        c.lastResend = eq_.now();
+        if (it->rescue) {
+            c.rescued = true;
+            c.rescueTick = eq_.now();
+        }
         ++fastRetransmits_;
         netInstant(node_, "fastrtx", eq_.now(), dst, c.seq);
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
@@ -604,6 +668,7 @@ NetworkInterface::onRetryTimeout(NodeId dst)
         // cum) without collapsing the window.
         TxChunk &c = flow.unacked.front();
         c.rexmitted = true;
+        c.lastResend = eq_.now();
         transmit(dst, c, /*retransmit=*/true);
         flow.retryTimeout =
             std::min(flow.retryTimeout * 2, params_.niRetryTimeoutMax());
@@ -627,6 +692,7 @@ NetworkInterface::onRetryTimeout(NodeId dst)
         c.epochResent = true;
         c.rexmitted = true;
         c.resendSerial = flow.sackSerial;
+        c.lastResend = eq_.now();
         transmit(dst, c, /*retransmit=*/true);
         break;
     }
@@ -765,6 +831,17 @@ NetworkInterface::rxAck(NodeId dst, AckInfo ack)
             if (off < sackWindow && (ack.sack >> off) & 1) {
                 c.sacked = true;
                 ++flow.sackSerial;
+                // A SACK landing before the rescue copy could even
+                // have completed a round trip was answering an
+                // *earlier* copy — the rescue was spurious (the
+                // "lost" resend had merely been overtaken, e.g. by a
+                // per-chunk delay fault).
+                if (c.rescued) {
+                    if (eq_.now()
+                        < c.rescueTick + wireRoundTripFloor(dst))
+                        ++rescueSpurious_;
+                    c.rescued = false;
+                }
                 if (!c.rexmitted) {
                     rtt_sent = c.firstSent;
                     have_rtt = true;
@@ -785,6 +862,12 @@ NetworkInterface::rxAck(NodeId dst, AckInfo ack)
         while (!flow.unacked.empty()
                && flow.unacked.front().seq < ack.cum) {
             TxChunk &c = flow.unacked.front();
+            // Same spurious-rescue evidence as the SACK path: a
+            // cumulative ack covering a rescued chunk inside the
+            // rescue's own round trip was answering an earlier copy.
+            if (c.rescued && !c.sacked
+                && eq_.now() < c.rescueTick + wireRoundTripFloor(dst))
+                ++rescueSpurious_;
             flow.credits += std::uint32_t(c.data.size());
             acked_bytes += std::uint32_t(c.data.size());
             ++acked_chunks;
@@ -811,6 +894,7 @@ NetworkInterface::rxAck(NodeId dst, AckInfo ack)
                     c.epochResent = true;
                     c.rexmitted = true;
                     c.resendSerial = flow.sackSerial;
+                    c.lastResend = eq_.now();
                     transmit(dst, c, /*retransmit=*/true);
                     --budget;
                 }
@@ -874,29 +958,52 @@ NetworkInterface::sendAck(NodeId src)
     if (ack.ecn)
         ++ecnMarked_;
 
-    // Acks ride the reverse link's control path: the fault model may
-    // drop or delay them (a lost ack is recovered by the sender's
-    // timer), but never corrupts or duplicates control messages.
+    launchAck(src, node_, ack);
+}
+
+void
+NetworkInterface::forwardAck(NodeId dst, NodeId origin, AckInfo ack)
+{
+    launchAck(dst, origin, ack);
+}
+
+void
+NetworkInterface::launchAck(NodeId dst, NodeId origin, AckInfo ack)
+{
+    // Acks ride the reverse route's control path: at every hop the
+    // traversed link's fault stream may drop or delay them (a lost
+    // ack is recovered by the sender's timer), but never corrupts or
+    // duplicates control messages.
+    const NodeId hop = net_.nextHop(node_, dst);
     FaultDecision fd =
-        net_.faults().decide(node_, src, eq_.now(), /*control=*/true);
+        net_.faults().decide(node_, hop, eq_.now(), /*control=*/true);
     if (fd.action == FaultAction::Drop) {
         trace::log(eq_.now(), trace::Category::NetFault, "node ",
-                   node_, " ack to node ", src, " (cum ", ack.cum,
+                   node_, " ack to node ", dst, " (cum ", ack.cum,
                    ") dropped");
         return;
     }
     // An ack is a real control packet — header plus the 8-byte SACK
-    // word — so it serializes on this node's injection link
+    // word — so it serializes on this node's outgoing link
     // (contending with its own data traffic) before taking the hop.
-    // Being strictly larger than a bare header, it still respects
-    // Interconnect::minDeliveryLatency — the floor the sharded
-    // engine's lookahead matrix is derived from.
+    // Being strictly larger than a bare header, every hop still
+    // respects the single-hop slice of Interconnect::
+    // minDeliveryLatency — the floor the sharded engine's lookahead
+    // matrix is derived from.
     Tick injected = net_.acquireLink(
-        node_, params_.niHeaderBytes + sizeof(ack.sack), eq_.now());
+        node_, hop, params_.niHeaderBytes + sizeof(ack.sack),
+        eq_.now());
     Tick when = injected + net_.hopLatency() + fd.extraDelay;
-    NetworkInterface *sender = net_.ni(src);
-    postToNode(src, when, "ni.ack",
-               [sender, me = node_, ack] { sender->rxAck(me, ack); });
+    NetworkInterface *peer = net_.ni(hop);
+    if (hop == dst) {
+        postToNode(dst, when, "ni.ack",
+                   [peer, origin, ack] { peer->rxAck(origin, ack); });
+    } else {
+        postToNode(hop, when, "ni.ack.fwd",
+                   [peer, dst, origin, ack] {
+                       peer->forwardAck(dst, origin, ack);
+                   });
+    }
 }
 
 void

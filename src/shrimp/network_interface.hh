@@ -58,6 +58,21 @@
  * router (direct construction in tests, or the legacy single-queue
  * System) the NI schedules on its own queue, which is the same thing
  * when that queue is shared.
+ *
+ * On a mesh/torus topology (sim::TopologyConfig) packets are
+ * forwarded hop by hop along the dimension-order route: every
+ * intermediate node's NI re-launches the chunk (or ack) onto its own
+ * outgoing link, arbitrating that physical link from its own shard
+ * and consulting the fault model for that specific link. Each forward
+ * is itself a cross-node post one single-hop floor in the future, so
+ * the per-hop lookahead contract composes into the distance-scaled
+ * Interconnect::minDeliveryLatency the sharded engine builds its
+ * matrix from. Dimension-order routing keeps every chunk of a flow on
+ * the same links, preserving per-flow FIFO order on a healthy wire —
+ * but per-chunk Delay faults still reorder within a link, which is
+ * why the rescue-retransmit rule waits out a round trip before
+ * treating post-resend SACKs as proof of loss (rescueSpurious counts
+ * the rescues that evidence later contradicted).
  */
 
 #ifndef SHRIMP_SHRIMP_NETWORK_INTERFACE_HH
@@ -272,6 +287,14 @@ class NetworkInterface : public dma::UdmaDevice
     {
         return std::uint64_t(cwndCuts_.value());
     }
+    /** Rescue retransmits later proven unnecessary: the chunk was
+     *  SACKed (or cum-acked) sooner than the rescue copy could even
+     *  have completed a round trip, so the ack answered an earlier
+     *  copy that was merely reordered, not lost. */
+    std::uint64_t rescueSpurious() const
+    {
+        return std::uint64_t(rescueSpurious_.value());
+    }
 
     /**
      * Digest of everything this node's receive DMA deposited in
@@ -326,6 +349,20 @@ class NetworkInterface : public dma::UdmaDevice
     void rxDeliver(const ChunkHeader &h, std::vector<std::uint8_t> data);
 
     /**
+     * A chunk in transit toward @p dst arrives at this intermediate
+     * node (mesh/torus multi-hop): re-launch it onto this node's
+     * outgoing link on the dimension-order route. Runs on this node's
+     * shard, so the link arbitration and the per-link fault draw are
+     * canonically ordered.
+     */
+    void forwardChunk(NodeId dst, const ChunkHeader &h,
+                      std::vector<std::uint8_t> data);
+
+    /** An ack in transit toward flow sender @p dst arrives at this
+     *  intermediate node: re-launch it (control path) likewise. */
+    void forwardAck(NodeId dst, NodeId origin, AckInfo ack);
+
+    /**
      * An acknowledgment from node @p dst: `ack.cum` says its receive
      * DMA has drained every chunk of ours below that sequence number
      * (releasing those chunks' credits and retransmit-buffer slots),
@@ -364,9 +401,19 @@ class NetworkInterface : public dma::UdmaDevice
         bool epochResent = false;
         /** TxFlow::sackSerial at the last resend: once three more
          *  SACK marks land while this chunk stays unSACKed, the
-         *  resend itself was lost (links are FIFO) and the scoreboard
-         *  may rescue-retransmit it without waiting for the RTO. */
+         *  resend itself probably got lost and the scoreboard may
+         *  rescue-retransmit it without waiting for the RTO. The
+         *  serial alone is not proof — per-chunk Delay faults reorder
+         *  chunks within one link — so the rescue also waits out a
+         *  round trip from lastResend (see fastRetransmitPass). */
         std::uint64_t resendSerial = 0;
+        /** Tick of the most recent resend (any recovery path). */
+        Tick lastResend = 0;
+        /** This chunk's latest resend was a rescue retransmit; the
+         *  tick lets the scoreboard recognize a spurious rescue when
+         *  an ack answers an earlier copy first. */
+        bool rescued = false;
+        Tick rescueTick = 0;
         /** Ever retransmitted (disqualifies its RTT sample). */
         bool rexmitted = false;
         std::vector<std::uint8_t> data;
@@ -440,11 +487,30 @@ class NetworkInterface : public dma::UdmaDevice
     RxFlow &rxFlowFor(NodeId src);
 
     /**
-     * Put one chunk on the wire toward @p dst: occupies the injection
-     * link, consults the fault model, and posts the delivery (or
-     * doesn't). Returns the injection-complete tick.
+     * Put one chunk on the wire toward @p dst: retransmit accounting
+     * plus the first launchChunk hop. Returns the injection-complete
+     * tick.
      */
     Tick transmit(NodeId dst, const TxChunk &chunk, bool retransmit);
+
+    /**
+     * One hop of a chunk's route toward @p dst: occupies this node's
+     * outgoing physical link, consults that link's fault stream, and
+     * posts either the delivery (last hop) or the next forward.
+     * Returns the injection-complete tick. Shared by the sender's
+     * transmit() and every intermediate forwardChunk().
+     */
+    Tick launchChunk(NodeId dst, const ChunkHeader &h,
+                     std::vector<std::uint8_t> payload);
+
+    /** One hop of an ack's route toward flow sender @p dst (control
+     *  path: the link may drop or delay it, never corrupt). */
+    void launchAck(NodeId dst, NodeId origin, AckInfo ack);
+
+    /** The smallest possible send->ack round trip toward @p dst: the
+     *  distance-scaled delivery floor both ways. An ack that lands
+     *  sooner than this after a resend cannot be answering it. */
+    Tick wireRoundTripFloor(NodeId dst) const;
 
     /** Arm the per-flow retransmit timer if it is not running. */
     void armRetry(NodeId dst, TxFlow &flow);
@@ -540,6 +606,7 @@ class NetworkInterface : public dma::UdmaDevice
     stats::Scalar rxOooBuffered_;
     stats::Scalar ecnMarked_;
     stats::Scalar cwndCuts_;
+    stats::Scalar rescueSpurious_;
     /** Sender engine start to last byte in memory, microseconds. */
     stats::Histogram deliveryUs_{0, 1024, 32};
     stats::StatGroup statGroup_{"ni"};

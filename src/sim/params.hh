@@ -22,11 +22,188 @@
 #define SHRIMP_SIM_PARAMS_HH
 
 #include <cstdint>
+#include <cstdlib>
+#include <ostream>
+#include <string>
 
 #include "sim/types.hh"
 
 namespace shrimp::sim
 {
+
+/**
+ * How the backplane wires the nodes together. The default crossbar is
+ * distance-uniform (every pair one hop apart, each node serializing
+ * its traffic onto a dedicated injection link); a 2D mesh or torus
+ * routes packets dimension-order (X then Y) across shared physical
+ * links, so latency and contention scale with distance — the shape of
+ * the Paragon backplane the SHRIMP prototype actually rode.
+ *
+ * Nodes map onto the grid row-major: node = y * dimX + x. The struct
+ * owns the pure routing arithmetic (distance, next hop) so the
+ * Interconnect, the FIFO-NIC baseline fabric, and the tests all agree
+ * on the path a packet takes.
+ */
+struct TopologyConfig
+{
+    enum class Kind
+    {
+        Crossbar,
+        Mesh,
+        Torus,
+    };
+
+    Kind kind = Kind::Crossbar;
+    /** Grid dimensions (mesh/torus only; node = y * dimX + x). */
+    unsigned dimX = 0;
+    unsigned dimY = 0;
+    /** True once a spec was parsed or a caller filled the struct
+     *  deliberately; lets an explicit config override the SHRIMP_TOPO
+     *  environment default in core::System. */
+    bool specified = false;
+
+    bool flat() const { return kind == Kind::Crossbar; }
+
+    /** Nodes the grid wires (0 = any, for the crossbar). */
+    unsigned
+    gridNodes() const
+    {
+        return flat() ? 0 : dimX * dimY;
+    }
+
+    std::string
+    describe() const
+    {
+        switch (kind) {
+          case Kind::Mesh:
+            return "mesh:" + std::to_string(dimX) + "x"
+                   + std::to_string(dimY);
+          case Kind::Torus:
+            return "torus:" + std::to_string(dimX) + "x"
+                   + std::to_string(dimY);
+          case Kind::Crossbar:
+          default:
+            return "crossbar";
+        }
+    }
+
+    /**
+     * Hops a packet from @p src to @p dst traverses under
+     * dimension-order routing; 1 for the crossbar (and for src == dst,
+     * so the one-hop delivery floor survives degenerate self-sends).
+     */
+    unsigned
+    hops(NodeId src, NodeId dst) const
+    {
+        if (flat() || src == dst)
+            return 1;
+        const unsigned d = axisDist(src % dimX, dst % dimX, dimX)
+                           + axisDist(src / dimX, dst / dimX, dimY);
+        return d == 0 ? 1 : d;
+    }
+
+    /**
+     * The next node on the dimension-order (X-then-Y) route toward
+     * @p dst. The crossbar delivers in one hop, so the next hop *is*
+     * the destination. On the torus each axis walks the shorter way
+     * around; an exact half-ring tie breaks toward +X/+Y, so the path
+     * is a pure function of (src, dst) — per-flow FIFO order needs
+     * every chunk of a flow on the same links.
+     */
+    NodeId
+    nextHop(NodeId from, NodeId dst) const
+    {
+        if (flat() || from == dst)
+            return dst;
+        const unsigned x = unsigned(from) % dimX;
+        const unsigned y = unsigned(from) / dimX;
+        const unsigned dx = unsigned(dst) % dimX;
+        const unsigned dy = unsigned(dst) / dimX;
+        if (x != dx)
+            return NodeId(y * dimX + axisStep(x, dx, dimX));
+        return NodeId(axisStep(y, dy, dimY) * dimX + x);
+    }
+
+  private:
+    unsigned
+    axisDist(unsigned a, unsigned b, unsigned dim) const
+    {
+        const unsigned d = a > b ? a - b : b - a;
+        if (kind != Kind::Torus)
+            return d;
+        return d < dim - d ? d : dim - d;
+    }
+
+    /** One dimension-order step from @p a toward @p b along an axis
+     *  of @p dim slots (wrapping on the torus). */
+    unsigned
+    axisStep(unsigned a, unsigned b, unsigned dim) const
+    {
+        if (kind != Kind::Torus)
+            return a < b ? a + 1 : a - 1;
+        const unsigned fwd = b >= a ? b - a : b + dim - a;
+        // Shorter way around; the half-ring tie goes forward (+).
+        if (fwd <= dim - fwd)
+            return (a + 1) % dim;
+        return (a + dim - 1) % dim;
+    }
+};
+
+/**
+ * Parse a topology spec into @p out:
+ *
+ *   crossbar          the flat default
+ *   mesh:WxH          2D mesh, W columns by H rows, row-major ids
+ *   torus:WxH         same grid with wraparound links
+ *
+ * Returns false (and explains on @p err, if given) on a malformed
+ * spec. The node-count match (W*H == nodes) is the System's job: the
+ * parser does not know the machine size.
+ */
+inline bool
+parseTopologySpec(const std::string &spec, TopologyConfig &out,
+                  std::ostream *err)
+{
+    auto fail = [&](const char *why) {
+        if (err)
+            *err << "topology spec '" << spec << "': " << why << "\n";
+        return false;
+    };
+    if (spec == "crossbar") {
+        out.kind = TopologyConfig::Kind::Crossbar;
+        out.dimX = out.dimY = 0;
+        out.specified = true;
+        return true;
+    }
+    TopologyConfig::Kind kind;
+    std::string dims;
+    if (spec.rfind("mesh:", 0) == 0) {
+        kind = TopologyConfig::Kind::Mesh;
+        dims = spec.substr(5);
+    } else if (spec.rfind("torus:", 0) == 0) {
+        kind = TopologyConfig::Kind::Torus;
+        dims = spec.substr(6);
+    } else {
+        return fail("want crossbar, mesh:WxH or torus:WxH");
+    }
+    const std::size_t x = dims.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 >= dims.size())
+        return fail("dimensions want WxH");
+    char *end = nullptr;
+    const unsigned long w = std::strtoul(dims.c_str(), &end, 10);
+    if (!end || *end != 'x')
+        return fail("bad width");
+    const unsigned long h = std::strtoul(end + 1, &end, 10);
+    if (!end || *end != '\0')
+        return fail("bad height");
+    if (w < 1 || h < 1 || w * h < 2)
+        return fail("want at least a 2-node grid");
+    out.kind = kind;
+    out.dimX = unsigned(w);
+    out.dimY = unsigned(h);
+    out.specified = true;
+    return true;
+}
 
 /** All timing/size knobs for one simulated machine (all nodes alike). */
 struct MachineParams

@@ -49,6 +49,10 @@ runRing(const RingConfig &cfg)
     // when the process saw --faults= or SHRIMP_FAULTS.
     scfg.faults = cfg.faults;
     scfg.faults.specified = true;
+    // Same deliberateness for the wiring: the caller's topology always
+    // wins over SHRIMP_TOPO / --topo= seen by the surrounding main.
+    scfg.topology = cfg.topology;
+    scfg.topology.specified = true;
     System sys(scfg);
 
     if (cfg.profiler && sys.engine())
@@ -206,6 +210,7 @@ runRing(const RingConfig &cfg)
         res.rxOooBuffered += ni->rxOutOfOrderBuffered();
         res.ecnMarked += ni->ecnMarked();
         res.cwndCuts += ni->cwndCuts();
+        res.rescueSpurious += ni->rescueSpurious();
         for (const auto &f : ni->txFlowDebug()) {
             if (f.unackedChunks == 0)
                 continue;
@@ -239,6 +244,7 @@ runRing(const RingConfig &cfg)
         fnv.mix(ni->rxOutOfOrderBuffered());
         fnv.mix(ni->ecnMarked());
         fnv.mix(ni->cwndCuts());
+        fnv.mix(ni->rescueSpurious());
         fnv.mix(ni->rxDataDigest());
     }
     res.dataDigest = data.h;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "shrimp/fault.hh"
+#include "sim/params.hh"
 #include "sim/types.hh"
 
 namespace shrimp::core
@@ -70,6 +71,13 @@ struct RingConfig
      * surrounding main saw `--faults=` or SHRIMP_FAULTS.
      */
     net::FaultConfig faults;
+    /**
+     * Backplane wiring (crossbar default, or mesh/torus — must match
+     * `nodes` when non-flat). Always passed through to SystemConfig,
+     * so an in-process reference run with a default-constructed
+     * config really is a crossbar even under SHRIMP_TOPO / --topo=.
+     */
+    sim::TopologyConfig topology;
     /**
      * Optional time-budget profiler: attached to the sharded engine
      * (no-op in legacy mode) and begun/ended around the timed data
@@ -114,6 +122,8 @@ struct RingResult
     std::uint64_t ecnMarked = 0;
     /** Congestion-window halvings across all sender flows. */
     std::uint64_t cwndCuts = 0;
+    /** Rescue retransmits the ack scoreboard later proved unneeded. */
+    std::uint64_t rescueSpurious = 0;
     /** Merged interconnect fault counters (what the links did). */
     net::FaultCounters faults;
     /**

@@ -17,6 +17,10 @@ patternName(Pattern p)
         return "transpose";
       case Pattern::Bursty:
         return "bursty";
+      case Pattern::Incast:
+        return "incast";
+      case Pattern::Bisection:
+        return "bisection";
     }
     return "?";
 }

@@ -11,7 +11,14 @@
  *                     EISA bus as the bottleneck, as on real SHRIMP);
  *  - Transpose:       node i sends to (n-1-i) (a fixed permutation);
  *  - Bursty:          nearest-neighbor destinations, but an on/off
- *                     duty cycle the caller can query for pacing.
+ *                     duty cycle the caller can query for pacing;
+ *  - Incast:          every node sends to the hot node (which itself
+ *                     sends to its right neighbour) — the pure
+ *                     convergence case a mesh funnels through the hot
+ *                     node's four ejection links;
+ *  - Bisection:       node i sends to (i + n/2) mod n — every message
+ *                     crosses the bisection, the classic
+ *                     link-bandwidth stress on a mesh or torus.
  */
 
 #ifndef SHRIMP_WORKLOAD_TRAFFIC_HH
@@ -34,6 +41,8 @@ enum class Pattern
     Hotspot,
     Transpose,
     Bursty,
+    Incast,
+    Bisection,
 };
 
 /** Human-readable pattern name (for table rows). */
@@ -80,6 +89,18 @@ class TrafficGenerator
             NodeId d = cfg_.nodes - 1 - self_;
             // The middle node of an odd-sized transpose pairs with
             // its neighbour instead of itself.
+            return d == self_ ? (self_ + 1) % cfg_.nodes : d;
+          }
+
+          case Pattern::Incast:
+            return self_ == cfg_.hotspotNode
+                       ? (self_ + 1) % cfg_.nodes
+                       : cfg_.hotspotNode;
+
+          case Pattern::Bisection: {
+            NodeId d = (self_ + cfg_.nodes / 2) % cfg_.nodes;
+            // Odd n: the halfway shift can land on self for no node,
+            // but guard anyway (n/2 == 0 only if n == 1, asserted).
             return d == self_ ? (self_ + 1) % cfg_.nodes : d;
           }
 

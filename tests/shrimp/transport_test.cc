@@ -263,3 +263,35 @@ TEST_F(TransportPair, TimerStillRecoversWithFastRetransmitMutedAway)
     EXPECT_GE(niA.timeouts(), 1u)
         << "with the scoreboard muted only the RTO can recover";
 }
+
+TEST_F(TransportPair, DelayReorderingDoesNotTriggerSpuriousRescues)
+{
+    // A heavily delay-faulted link reorders data chunks without losing
+    // any: per-chunk extraDelay lets later chunks overtake earlier
+    // ones on the same wire. The old rescue heuristic read "3 SACKs
+    // after a resend while it stays unSACKed" as proof the resend was
+    // lost — on a reordered link that proof is false and every false
+    // positive is a wasted wire copy. The rescue guard must wait out
+    // a round trip instead of trusting the serials alone.
+    // delay-us stays under the 50 us RTO floor so the delayed acks
+    // never read as flow silence — reordering is the only signal.
+    FaultConfig cfg;
+    ASSERT_TRUE(parseFaultSpec("delay=0.5,delay-us=30,seed=9", cfg,
+                               nullptr));
+    net.setFaults(cfg);
+    sendMessage(4096);
+    EXPECT_GT(net.faults().totals().delayed, 0u)
+        << "no chunk was delayed; the test proves nothing";
+    EXPECT_GT(niB.rxOutOfOrderBuffered(), 0u)
+        << "delays that never reorder prove nothing either";
+    EXPECT_EQ(niA.rescueSpurious(), 0u)
+        << "reordering alone must not fire rescue retransmits";
+    // First-round dup-ack false positives are inherent to reordering
+    // (the scoreboard cannot tell late from lost), but each hole may
+    // be charged at most once: a spurious fast retransmit must never
+    // snowball into rescue resends of the same chunk.
+    EXPECT_LE(niA.retransmits(), niA.fastRetransmits())
+        << "only the scoreboard should have fired, never the timer";
+    EXPECT_EQ(niA.timeouts(), 0u)
+        << "acks kept flowing; the silence detector must not fire";
+}

@@ -26,6 +26,9 @@
 #                                speedup gate
 #   SHRIMP_SKIP_NETPERF=1        skip the transport perf gate (goodput
 #                                under loss + hotspot-vs-permutation)
+#   SHRIMP_SKIP_MESH=1           skip the mesh:4x4 legs inside the
+#                                multinode and netperf gates (the
+#                                crossbar legs still run)
 #   SHRIMP_SKIP_PROFILE=1        skip the profiled-trace gate (trace
 #                                validation + <= 5% profiler overhead)
 #   SHRIMP_SKIP_WINDOWEFF=1      skip the window-efficiency gate
@@ -348,6 +351,21 @@ step_multinode() {
         --nodes=256 --records=4 --record-bytes=1024 --shards=8 \
         > /dev/null
     echo "256-node/8-shard digest gate: ok"
+    # Multi-hop leg: the 4x4 mesh exercises dimension-order routing,
+    # per-direction link arbitration, and hop-by-hop forwarding under
+    # shards. The bench compares shards=1 against shards=4 internally
+    # (bit-identical digests) and the committed baseline pins the
+    # simulated-time metrics so routing changes can't drift silently.
+    if [ "${SHRIMP_SKIP_MESH:-0}" = "1" ]; then
+        echo "SHRIMP_SKIP_MESH=1; skipping mesh leg"
+    else
+        "${perf_dir}/bench/multinode_traffic" \
+            --nodes=16 --topo=mesh:4x4 --records=64 \
+            --record-bytes=2048 --shards=4 \
+            --stats-json="${perf_dir}/BENCH_multinode_mesh.json" \
+            --check-against="${repo_root}/BENCH_multinode_mesh.json" \
+            --tolerance=0.20
+    fi
 }
 
 step_netperf() {
@@ -377,6 +395,28 @@ step_netperf() {
     "${perf_dir}/bench/multinode_patterns" \
         --nodes=3 --check-hotspot=0.25 \
         --stats-json="${perf_dir}/BENCH_netperf_patterns.json"
+    # Mesh legs: the same loss mix has to recover across multi-hop
+    # routes. Faults fire per traversed link, so drop=0.05 compounds
+    # to ~25% end-to-end on the longest 6-hop routes — the stream
+    # shape (many small records) keeps chunks flowing per flow so
+    # dup-ack repair, not the RTO tail, does the recovering. The
+    # hotspot gate re-enables at 16 nodes because the hot receiver —
+    # not a shared bus — is the bottleneck again; on the mesh it
+    # floors hotspot at 75% of the *per-receiver* permutation rate
+    # (see multinode_patterns.cc).
+    if [ "${SHRIMP_SKIP_MESH:-0}" = "1" ]; then
+        echo "SHRIMP_SKIP_MESH=1; skipping mesh legs"
+    else
+        "${perf_dir}/bench/multinode_traffic" \
+            --nodes=16 --topo=mesh:4x4 --records=256 \
+            --record-bytes=2048 --shards=1 \
+            --faults=drop=0.05,corrupt=0.02,seed=7 \
+            --min-goodput=0.90 --max-retransmit-ratio=2.0 \
+            --stats-json="${perf_dir}/BENCH_netperf_mesh.json"
+        "${perf_dir}/bench/multinode_patterns" \
+            --nodes=16 --topo=mesh:4x4 --check-hotspot=0.25 \
+            --stats-json="${perf_dir}/BENCH_netperf_patterns_mesh.json"
+    fi
 }
 
 step_profile() {

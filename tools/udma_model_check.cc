@@ -429,6 +429,11 @@ struct Options
      *  fast retransmit earn their keep) dominates the tail. */
     unsigned records = 16;
     std::uint32_t recordBytes = 1024;
+    /** `--nodes=N` (--net mode): ring size (default 2). */
+    unsigned netNodes = 2;
+    /** `--topo=SPEC` (--net mode): backplane wiring (default
+     *  crossbar; `mesh:WxH` / `torus:WxH` must match --nodes). */
+    sim::TopologyConfig netTopo;
     bool traceReplay = false;
     bool quiet = false;
     bool ok = true;
@@ -660,6 +665,10 @@ usage(std::ostream &os)
           "                       (default 16)\n"
           "  --record-bytes=N     with --net: record payload bytes\n"
           "                       (default 1024)\n"
+          "  --nodes=N            with --net: ring size (default 2)\n"
+          "  --topo=SPEC          with --net: backplane wiring\n"
+          "                       (crossbar, mesh:WxH, torus:WxH;\n"
+          "                       a grid must match --nodes)\n"
           "  --net=SPEC           check exactly-once delivery on an\n"
           "                       unreliable backplane instead\n"
           "                       (SPEC as in --faults=, e.g.\n"
@@ -737,7 +746,14 @@ runNetCheck(const Options &opt)
     fc.ignoreSack = fc.ignoreSack || opt.ignoreSack;
 
     workload::RingConfig rc;
-    rc.nodes = 2;
+    rc.nodes = opt.netNodes;
+    rc.topology = opt.netTopo;
+    if (!rc.topology.flat() && rc.topology.gridNodes() != rc.nodes) {
+        std::cerr << "--topo=" << rc.topology.describe() << " wires "
+                  << rc.topology.gridNodes() << " nodes but --nodes="
+                  << rc.nodes << "\n";
+        return 2;
+    }
     rc.records = opt.records;
     rc.recordBytes = opt.recordBytes;
     rc.shards = 1;
@@ -754,8 +770,9 @@ runNetCheck(const Options &opt)
     workload::RingResult r = workload::runRing(rc);
 
     if (!opt.quiet) {
-        std::cout << "net-check: " << rc.nodes << "-node ring, "
-                  << rc.records << " records, faults '" << opt.netSpec
+        std::cout << "net-check: " << rc.nodes << "-node ring on "
+                  << rc.topology.describe() << ", " << rc.records
+                  << " records, faults '" << opt.netSpec
                   << "'" << (fc.disableRetransmit
                                  ? " (retransmission disabled)"
                                  : "")
@@ -860,6 +877,21 @@ main(int argc, char **argv)
             } catch (const std::exception &) {
                 std::cerr << "--limit-us: want a number, got '"
                           << arg.substr(11) << "'\n";
+                usage(std::cerr);
+                return 2;
+            }
+        } else if (arg.rfind("--nodes=", 0) == 0) {
+            try {
+                opt.netNodes = unsigned(std::stoul(arg.substr(8)));
+            } catch (const std::exception &) {
+                std::cerr << "--nodes: want a number, got '"
+                          << arg.substr(8) << "'\n";
+                usage(std::cerr);
+                return 2;
+            }
+        } else if (arg.rfind("--topo=", 0) == 0) {
+            if (!sim::parseTopologySpec(arg.substr(7), opt.netTopo,
+                                        &std::cerr)) {
                 usage(std::cerr);
                 return 2;
             }
